@@ -1,0 +1,118 @@
+"""E12 -- The four STREAMLINE applications, end to end.
+
+Each application pipeline runs at reduced scale and reports its quality
+metric against its naive baseline, demonstrating that the platform's
+pieces compose into the use cases the project was funded for:
+
+* customer retention: churn AUC (online LR) vs. coin-flip 0.5;
+* recommendations: prequential RMSE (streaming MF) vs. global mean;
+* target advertisement: CTR AUC (FTRL) vs. the hidden model's ceiling;
+* multilingual Web: language-identification accuracy vs. majority class.
+"""
+
+import pytest
+
+from harness import format_table, record
+from repro.datagen import (
+    AdStreamGenerator,
+    ClickstreamGenerator,
+    DocumentStreamGenerator,
+    RatingStreamGenerator,
+)
+from repro.ml import (
+    FTRLProximal,
+    LanguageIdentifier,
+    OnlineLogisticRegression,
+    PrequentialEvaluator,
+    StreamingMatrixFactorization,
+    auc,
+    rmse,
+)
+
+
+def churn_application():
+    generator = ClickstreamGenerator(num_users=300, days=30,
+                                     churn_fraction=0.35, seed=12)
+    examples = generator.labeled_examples()
+    model = OnlineLogisticRegression(learning_rate=0.15)
+    evaluator = PrequentialEvaluator()
+    for _ in range(3):
+        for example in examples:
+            evaluator.record(example.label,
+                             model.update(example.features, example.label))
+    n = len(examples)
+    return auc(evaluator.labels[-n:], evaluator.scores[-n:]), 0.5
+
+
+def recommendation_application():
+    generator = RatingStreamGenerator(num_users=100, num_items=60,
+                                      noise=0.25, seed=12)
+    model = StreamingMatrixFactorization(factors=8, learning_rate=0.05,
+                                         seed=12)
+    truth, predictions, baseline = [], [], []
+    total, count = 0.0, 0
+    for rating in generator.ratings(15_000):
+        baseline.append(total / count if count else 3.5)
+        predictions.append(model.update(rating.user, rating.item,
+                                        rating.value))
+        truth.append(rating.value)
+        total += rating.value
+        count += 1
+    half = len(truth) // 2
+    return (rmse(truth[half:], predictions[half:]),
+            rmse(truth[half:], baseline[half:]))
+
+
+def advertising_application():
+    generator = AdStreamGenerator(num_users=300, seed=12)
+    model = FTRLProximal(alpha=0.3, l1=0.2, l2=0.2)
+    evaluator = PrequentialEvaluator()
+    for impression in generator.impressions(8_000):
+        evaluator.record(impression.clicked,
+                         model.update(impression.features(),
+                                      impression.clicked))
+    warm = len(evaluator.labels) // 2
+    return (auc(evaluator.labels[warm:], evaluator.scores[warm:]),
+            generator.bayes_auc_bound())
+
+
+def multilingual_application():
+    generator = DocumentStreamGenerator(words_per_doc=25, seed=12)
+    identifier = LanguageIdentifier()
+    documents = list(generator.documents(300))
+    correct = sum(1 for document in documents
+                  if identifier.identify(document.text) == document.language)
+    majority = max(
+        sum(1 for d in documents if d.language == language)
+        for language in generator.languages) / len(documents)
+    return correct / len(documents), majority
+
+
+def run_all():
+    return {
+        "customer retention (AUC)": churn_application(),
+        "recommendations (RMSE, lower=better)":
+            recommendation_application(),
+        "target advertisement (AUC)": advertising_application(),
+        "multilingual web (accuracy)": multilingual_application(),
+    }
+
+
+def test_e12_applications(benchmark):
+    table = benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    rows = [[name, achieved, reference]
+            for name, (achieved, reference) in table.items()]
+    record("e12_applications", format_table(
+        ["application (metric)", "pipeline", "baseline/ceiling"], rows,
+        title="E12: the four STREAMLINE applications, quality vs baseline"))
+
+    churn_auc, coin = table["customer retention (AUC)"]
+    assert churn_auc > coin + 0.2
+    mf_rmse, mean_rmse = table["recommendations (RMSE, lower=better)"]
+    assert mf_rmse < mean_rmse
+    ctr_auc, ceiling = table["target advertisement (AUC)"]
+    assert ctr_auc > 0.65
+    assert ctr_auc <= ceiling + 0.05
+    lang_accuracy, majority = table["multilingual web (accuracy)"]
+    assert lang_accuracy > 0.9 > majority

@@ -1,0 +1,102 @@
+"""E2 -- Cost vs. number of concurrent window queries (sharing).
+
+Reproduces the shape of Cutty's multi-query experiment and the
+STREAMLINE claim of outperforming previous solutions by "order of
+magnitudes": m concurrent sliding-window queries with random ranges run
+(a) shared through one Cutty aggregator, (b) unshared as m independent
+eager operators (the Flink default), (c) unshared as m independent Cutty
+operators.
+
+Expected shape (asserted):
+* shared Cutty cost is flat-ish in m (lifts stay 1/record);
+* unshared eager grows linearly with the summed range/slide;
+* at m=64 the shared/unshared-eager gap exceeds 100x.
+"""
+
+import random
+
+import pytest
+
+from harness import dense_stream, format_table, record, run_aggregator
+from repro.cutty import CuttyAggregator, PeriodicWindows, SharedCuttyAggregator
+from repro.cutty.baselines import (
+    EagerPerWindowAggregator,
+    UnsharedMultiQueryAggregator,
+)
+from repro.metrics import AggregationCostCounter
+from repro.windowing.aggregates import SumAggregate
+
+SLIDE = 100
+QUERY_COUNTS = [1, 4, 16, 64]
+STREAM = dense_stream(5_000)
+
+
+def _query_sizes(count):
+    rng = random.Random(42)
+    return {("q%d" % index): rng.choice([500, 1000, 2000, 4000])
+            for index in range(count)}
+
+
+def _run_shared(sizes):
+    counter = AggregationCostCounter()
+    aggregator = SharedCuttyAggregator(
+        SumAggregate(),
+        {qid: PeriodicWindows(size, SLIDE) for qid, size in sizes.items()},
+        counter)
+    run_aggregator(aggregator, STREAM)
+    return counter
+
+
+def _run_unshared_eager(sizes):
+    counter = AggregationCostCounter()
+    aggregator = EagerPerWindowAggregator(
+        SumAggregate(),
+        {qid: PeriodicWindows(size, SLIDE) for qid, size in sizes.items()},
+        counter)
+    run_aggregator(aggregator, STREAM)
+    return counter
+
+
+def _run_unshared_cutty(sizes):
+    aggregator = UnsharedMultiQueryAggregator(
+        lambda qid, counter: CuttyAggregator(
+            SumAggregate(), PeriodicWindows(sizes[qid], SLIDE), counter),
+        list(sizes))
+    for value, ts in STREAM:
+        aggregator.insert(value, ts)
+    aggregator.flush(STREAM[-1][1])
+    return aggregator.counter
+
+
+def sweep():
+    table = {}
+    for count in QUERY_COUNTS:
+        sizes = _query_sizes(count)
+        table[("shared-cutty", count)] = \
+            _run_shared(sizes).operations_per_record()
+        table[("unshared-cutty", count)] = \
+            _run_unshared_cutty(sizes).operations_per_record()
+        table[("unshared-eager", count)] = \
+            _run_unshared_eager(sizes).operations_per_record()
+    return table
+
+
+def test_e2_multi_query_sharing(benchmark):
+    table = benchmark.pedantic(sweep, iterations=1, rounds=1)
+
+    names = ["shared-cutty", "unshared-cutty", "unshared-eager"]
+    rows = [[count] + [table[(name, count)] for name in names]
+            for count in QUERY_COUNTS]
+    record("e2_multiquery", format_table(
+        ["#queries"] + names, rows,
+        title="E2: aggregate ops/record vs concurrent queries "
+              "(slide=%dms, %d records)" % (SLIDE, len(STREAM))))
+
+    # Sharing is sublinear in m; eager is ~linear.
+    growth_shared = table[("shared-cutty", 64)] / table[("shared-cutty", 1)]
+    growth_eager = (table[("unshared-eager", 64)]
+                    / table[("unshared-eager", 1)])
+    assert growth_shared < growth_eager / 3
+    # The "order of magnitudes" claim at m=64.
+    assert (table[("unshared-eager", 64)]
+            > 50 * table[("shared-cutty", 64)])

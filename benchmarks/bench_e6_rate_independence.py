@@ -1,0 +1,91 @@
+"""E6 -- Tuples transferred to the client vs. input data rate.
+
+Reproduces I2's headline figure: a fixed 200-pixel chart over a fixed
+time range receives data at growing rates.  A client-side-rendering
+tool ships every tuple (linear in rate); systematic sampling must pick
+its period per rate and still grows or degrades; M4's transfer is
+bounded by 4 x width -- **data-rate independent**.
+
+Expected shape (asserted):
+* raw transfer grows linearly with rate;
+* M4 transfer is constant-bounded (<= 800 tuples) at every rate;
+* at the highest rate M4 ships >100x fewer tuples than raw, with zero
+  pixel error (correctness does not degrade as rate grows).
+"""
+
+import pytest
+
+from harness import format_table, record
+from repro.datagen import noisy_waves
+from repro.i2 import (
+    M4Aggregator,
+    NthSampler,
+    PiecewiseAverage,
+    RawTransfer,
+    pixel_error,
+    render_line_chart,
+)
+
+WIDTH, HEIGHT = 200, 100
+T_MIN, T_MAX = 0, 10_000
+RATES = [1_000, 10_000, 100_000, 300_000]  # tuples per chart range
+
+
+def render(points):
+    return render_line_chart(points, WIDTH, HEIGHT, T_MIN, T_MAX, -80, 80)
+
+
+def sweep():
+    table = {}
+    for rate in RATES:
+        points = noisy_waves(rate, t_min=T_MIN, t_max=T_MAX, seed=rate)
+        reference = render(points)
+
+        raw = RawTransfer()
+        raw.insert_many(points)
+
+        m4 = M4Aggregator(T_MIN, T_MAX, WIDTH)
+        m4.insert_many(points)
+
+        # Sampling tuned to ship about as much as M4 does.
+        sampler = NthSampler(max(1, rate // (4 * WIDTH)))
+        sampler.insert_many(points)
+
+        paa = PiecewiseAverage(T_MIN, T_MAX, WIDTH)
+        paa.insert_many(points)
+
+        table[rate] = {
+            "raw": (raw.tuples_transferred,
+                    pixel_error(render(raw.points()), reference)),
+            "m4": (m4.tuples_retained,
+                   pixel_error(render(m4.points()), reference)),
+            "sampling": (sampler.tuples_transferred,
+                         pixel_error(render(sampler.points()), reference)),
+            "paa": (paa.tuples_transferred,
+                    pixel_error(render(paa.points()), reference)),
+        }
+    return table
+
+
+def test_e6_data_rate_independence(benchmark):
+    table = benchmark.pedantic(sweep, iterations=1, rounds=1)
+
+    rows = []
+    for rate in RATES:
+        for technique in ("raw", "m4", "sampling", "paa"):
+            transferred, error = table[rate][technique]
+            rows.append([rate, technique, transferred, error])
+    record("e6_rate_independence", format_table(
+        ["rate (tuples)", "technique", "transferred", "pixel error"],
+        rows,
+        title="E6: transfer volume vs input rate, fixed %dx%d chart"
+              % (WIDTH, HEIGHT)))
+
+    for rate in RATES:
+        assert table[rate]["raw"][0] == rate            # linear in rate
+        assert table[rate]["m4"][0] <= 4 * WIDTH        # bounded
+        assert table[rate]["m4"][1] == 0                # and exact
+    top = RATES[-1]
+    assert table[top]["raw"][0] > 100 * table[top]["m4"][0]
+    # Sampling at comparable volume is NOT exact.
+    assert table[top]["sampling"][1] > 0

@@ -1,0 +1,96 @@
+"""E7 -- Correctness & minimality: pixel error per reduction technique.
+
+Reproduces the I2/M4 quality comparison on three series shapes (waves,
+random walk, rare spikes): each technique's transferred volume and the
+pixel error of the client-side rendering against ground truth.
+
+Expected shape (asserted):
+* M4: zero pixel error on every series at ~4 x width tuples;
+* every budget-comparable baseline has non-zero error on at least the
+  spiky series (PAA notoriously erases spikes);
+* error ordering: m4 < minmax <= {sampling, paa} on the spiky series.
+"""
+
+import pytest
+
+from harness import format_table, record
+from repro.datagen import noisy_waves, random_walk, spiky_series
+from repro.i2 import (
+    M4Aggregator,
+    MinMaxReducer,
+    NthSampler,
+    PiecewiseAverage,
+    RandomSampler,
+    pixel_error,
+    pixel_error_rate,
+    render_line_chart,
+)
+
+WIDTH, HEIGHT = 100, 60
+T_MIN, T_MAX = 0, 5_000
+N = 50_000
+
+SERIES = {
+    "waves": lambda: noisy_waves(N, t_min=T_MIN, t_max=T_MAX, seed=1),
+    "walk": lambda: random_walk(N, t_min=T_MIN, t_max=T_MAX, seed=2),
+    "spikes": lambda: spiky_series(N, t_min=T_MIN, t_max=T_MAX, seed=3),
+}
+
+
+def render(points):
+    return render_line_chart(points, WIDTH, HEIGHT, T_MIN, T_MAX, -100, 100)
+
+
+def techniques():
+    return {
+        "m4": M4Aggregator(T_MIN, T_MAX, WIDTH),
+        "minmax": MinMaxReducer(T_MIN, T_MAX, WIDTH),
+        "paa": PiecewiseAverage(T_MIN, T_MAX, WIDTH),
+        "sampling": NthSampler(max(1, N // (4 * WIDTH))),
+        "reservoir": RandomSampler(budget=4 * WIDTH),
+    }
+
+
+def sweep():
+    table = {}
+    for series_name, make_series in SERIES.items():
+        points = make_series()
+        reference = render(points)
+        for name, reducer in techniques().items():
+            reducer.insert_many(points)
+            reduced = (reducer.points() if hasattr(reducer, "points")
+                       else [])
+            transferred = (reducer.tuples_retained
+                           if isinstance(reducer, M4Aggregator)
+                           else reducer.tuples_transferred)
+            rendered = render(reduced)
+            table[(series_name, name)] = (
+                transferred,
+                pixel_error(rendered, reference),
+                pixel_error_rate(rendered, reference))
+    return table
+
+
+def test_e7_pixel_error(benchmark):
+    table = benchmark.pedantic(sweep, iterations=1, rounds=1)
+
+    rows = []
+    for series_name in SERIES:
+        for name in ("m4", "minmax", "paa", "sampling", "reservoir"):
+            transferred, error, error_rate = table[(series_name, name)]
+            rows.append([series_name, name, transferred, error,
+                         error_rate])
+    record("e7_pixel_error", format_table(
+        ["series", "technique", "transferred", "pixel error",
+         "error rate"], rows,
+        title="E7: rendering error per technique, %dx%d chart, %d raw "
+              "tuples" % (WIDTH, HEIGHT, N)))
+
+    for series_name in SERIES:
+        transferred, error, _ = table[(series_name, "m4")]
+        assert error == 0, "M4 must be pixel-exact on %s" % series_name
+        assert transferred <= 4 * WIDTH
+    # Spikes expose the lossy baselines.
+    for name in ("paa", "sampling", "reservoir"):
+        assert table[("spikes", name)][1] > 0
+    assert table[("spikes", "paa")][2] > 0.1  # PAA flattens spikes badly

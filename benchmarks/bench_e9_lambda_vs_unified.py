@@ -1,0 +1,101 @@
+"""E9 -- System & human latency: lambda architecture vs. unified pipeline.
+
+Reproduces the STREAMLINE motivation experiment: the same live query
+("events per key, all time") served by
+
+* a **lambda architecture** -- a batch layer recomputed every T ms (one
+  DataSet job per cycle) whose serving view is stale between cycles;
+* the **unified pipeline** -- one streaming job whose keyed running
+  counts update on every record.
+
+Metric: *result staleness*, the age (in event time) of the served view
+when probed at uniformly spread probe instants, plus the number of
+systems/jobs a team must operate.
+
+Expected shape (asserted):
+* unified staleness is ~0 at every probe;
+* lambda staleness averages ~T/2 and grows with T;
+* lambda runs many jobs where unified runs one.
+"""
+
+import pytest
+
+from harness import format_table, record
+from repro.api import StreamExecutionEnvironment
+
+DURATION_MS = 60_000
+EVENTS = [("k%d" % (ts % 7), ts) for ts in range(0, DURATION_MS, 5)]
+PROBES = list(range(5_000, DURATION_MS, 5_000))
+CYCLES = [2_000, 10_000, 30_000]
+
+
+def run_unified():
+    """One streaming job; the view updates on every record, so at any
+    probe instant the served count reflects everything up to it."""
+    env = StreamExecutionEnvironment()
+    updates = (env.from_collection(EVENTS, timestamped=True)
+               .key_by(lambda v: v[0])
+               .count()
+               .collect(with_timestamps=True))
+    env.execute()
+    # View timeline: (event ts, key, running count).
+    view_updates = sorted(
+        (ts, value[0], value[1]) for value, ts in updates.get())
+    staleness = []
+    for probe in PROBES:
+        last_update = max((ts for ts, _, _ in view_updates if ts <= probe),
+                          default=0)
+        staleness.append(probe - last_update)
+    return sum(staleness) / len(staleness), 1  # one job
+
+
+def run_lambda(cycle_ms):
+    """Batch layer: recompute the whole view every cycle; the serving
+    view's freshness is the end of the last completed batch."""
+    jobs = 0
+    recompute_points = list(range(cycle_ms, DURATION_MS + 1, cycle_ms))
+    for boundary in recompute_points:
+        env = StreamExecutionEnvironment()
+        (env.from_bounded([e for e in EVENTS if e[1] < boundary])
+         .group_by(lambda v: v[0])
+         .count()
+         .collect())
+        env.execute()
+        jobs += 1
+    staleness = []
+    for probe in PROBES:
+        completed = [boundary for boundary in recompute_points
+                     if boundary <= probe]
+        view_fresh_until = completed[-1] if completed else 0
+        staleness.append(probe - view_fresh_until)
+    return sum(staleness) / len(staleness), jobs
+
+
+def sweep():
+    table = {"unified": run_unified()}
+    for cycle in CYCLES:
+        table["lambda %dms" % cycle] = run_lambda(cycle)
+    return table
+
+
+def test_e9_lambda_vs_unified(benchmark):
+    table = benchmark.pedantic(sweep, iterations=1, rounds=1)
+
+    rows = [[name, staleness, jobs]
+            for name, (staleness, jobs) in table.items()]
+    record("e9_lambda_vs_unified", format_table(
+        ["architecture", "avg result staleness (event-ms)", "jobs run"],
+        rows,
+        title="E9: freshness of a live per-key count view, 60s of events, "
+              "probed every 5s"))
+
+    unified_staleness, unified_jobs = table["unified"]
+    assert unified_staleness <= 5
+    assert unified_jobs == 1
+    previous = unified_staleness
+    for cycle in CYCLES:
+        staleness, jobs = table["lambda %dms" % cycle]
+        assert staleness >= cycle / 4          # staleness tracks the cycle
+        assert staleness >= previous           # and grows with it
+        assert jobs == DURATION_MS // cycle    # operational burden
+        previous = staleness

@@ -1,0 +1,70 @@
+"""Shared benchmark plumbing: table formatting and result recording.
+
+Every experiment bench prints its table (visible with ``pytest -s``) and
+writes it to ``benchmarks/results/<exp>.txt`` so EXPERIMENTS.md numbers
+can be regenerated with a single command.  Shape assertions inside the
+benches make the paper's qualitative claims (who wins, by roughly what
+factor) part of the test contract rather than prose.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 title: str = "") -> str:
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(width)
+                           for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return "%.0f" % cell
+        if abs(cell) >= 10:
+            return "%.1f" % cell
+        return "%.3f" % cell
+    return str(cell)
+
+
+def record(experiment: str, text: str) -> None:
+    """Print the table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "%s.txt" % experiment)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print("\n" + text)
+
+
+def dense_stream(count: int, gap_ms: int = 1) -> List:
+    """``count`` records of value 1 at a fixed rate: the canonical Cutty
+    workload (one record per millisecond by default)."""
+    return [(1, index * gap_ms) for index in range(count)]
+
+
+def run_aggregator(aggregator, stream) -> int:
+    """Feed a stream through any windowing strategy; returns #results."""
+    results = 0
+    for value, ts in stream:
+        results += len(aggregator.insert(value, ts))
+    results += len(aggregator.flush(stream[-1][1]))
+    return results

@@ -1,0 +1,24 @@
+"""The uniform programming model: one environment, one operator
+vocabulary, for data at rest and data in motion."""
+
+from repro.api.dataset import DataSet, GroupedDataSet
+from repro.api.environment import CollectResult, StreamExecutionEnvironment
+from repro.api.stream import (
+    ConnectedKeyedStreams,
+    ConnectedStreams,
+    DataStream,
+    KeyedStream,
+    WindowedStream,
+)
+
+__all__ = [
+    "DataSet",
+    "GroupedDataSet",
+    "CollectResult",
+    "StreamExecutionEnvironment",
+    "ConnectedKeyedStreams",
+    "ConnectedStreams",
+    "DataStream",
+    "KeyedStream",
+    "WindowedStream",
+]

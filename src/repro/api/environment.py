@@ -1,0 +1,185 @@
+"""The execution environment: entry point of the uniform programming model.
+
+One :class:`StreamExecutionEnvironment` hosts *both* kinds of programs:
+
+* :meth:`from_collection` / :meth:`from_source` / :meth:`generate_sequence`
+  produce a :class:`~repro.api.stream.DataStream` (data in motion);
+* :meth:`from_bounded` produces a :class:`~repro.api.dataset.DataSet`
+  (data at rest).
+
+Both build nodes in the *same* :class:`~repro.plan.graph.StreamGraph` and
+execute on the *same* pipelined engine -- the STREAMLINE claim that one
+system serves both workloads, with batch being the special case of a
+stream that ends.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.plan.chaining import build_job_graph
+from repro.plan.explain import explain_job_graph, explain_stream_graph
+from repro.plan.graph import StreamGraph, StreamNode
+from repro.runtime.engine import Engine, EngineConfig, JobResult
+from repro.runtime.operators import IteratorSource
+
+
+class CollectResult:
+    """Handle to a sink's output, readable after ``env.execute()``."""
+
+    def __init__(self) -> None:
+        self._bucket: List[Any] = []
+        self._executed = False
+
+    def _mark_executed(self) -> None:
+        self._executed = True
+
+    def get(self) -> List[Any]:
+        if not self._executed:
+            raise RuntimeError(
+                "results are only available after env.execute()")
+        return list(self._bucket)
+
+    def __len__(self) -> int:
+        return len(self._bucket)
+
+
+class StreamExecutionEnvironment:
+    """Builds and runs dataflow programs."""
+
+    def __init__(self, parallelism: int = 1,
+                 config: Optional[EngineConfig] = None,
+                 chaining: bool = True) -> None:
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        self.parallelism = parallelism
+        self.config = config or EngineConfig()
+        self.chaining = chaining
+        self.graph = StreamGraph()
+        self._collect_results: List[CollectResult] = []
+        self._last_engine: Optional[Engine] = None
+
+    # -- sources ----------------------------------------------------------
+
+    def from_collection(self, values: Iterable[Any],
+                        timestamped: bool = False,
+                        name: str = "collection-source") -> "DataStream":
+        """A bounded stream over an in-memory collection.
+
+        With ``timestamped=True`` elements must be ``(value, timestamp)``
+        pairs and arrive pre-stamped with event time.
+        """
+        materialised = list(values)
+        return self.from_source(lambda: materialised,
+                                timestamped=timestamped, name=name)
+
+    def from_source(self, iterable_factory: Callable[[], Iterable[Any]],
+                    timestamped: bool = False,
+                    parallelism: Optional[int] = None,
+                    name: str = "source") -> "DataStream":
+        """A (replayable) stream over a factory of iterables.
+
+        The factory is invoked once per (re)start, which is what makes
+        exactly-once recovery possible: after a failure the source is
+        re-created and skipped forward to its checkpointed offset.
+        """
+        from repro.api.stream import DataStream
+        p = parallelism or self.parallelism
+        node = self.graph.new_node(
+            name,
+            operator_factory=lambda: IteratorSource(
+                iterable_factory, timestamped=timestamped, name=name),
+            parallelism=p, is_source=True)
+        return DataStream(self, node)
+
+    def generate_sequence(self, start: int, end: int,
+                          name: str = "sequence") -> "DataStream":
+        """The integers ``[start, end)`` as a bounded stream."""
+        if end < start:
+            raise ValueError("end must be >= start")
+        return self.from_source(lambda: range(start, end), name=name)
+
+    def from_partitioned_source(self, partition_factories,
+                                timestamped: bool = False,
+                                parallelism: Optional[int] = None,
+                                name: str = "partitioned-source"
+                                ) -> "DataStream":
+        """A stream over independent replayable partitions (Kafka-style).
+
+        Unlike :meth:`from_source`, this source *can* rescale across
+        savepoints: ownership and offsets are per partition, so a resume
+        at different parallelism reassigns partitions instead of
+        breaking positional replay.
+        """
+        from repro.api.stream import DataStream
+        from repro.connectors.partitioned import PartitionedSource
+        p = parallelism or self.parallelism
+        factories = list(partition_factories)
+        node = self.graph.new_node(
+            name,
+            operator_factory=lambda: PartitionedSource(
+                factories, timestamped=timestamped, name=name),
+            parallelism=p, is_source=True)
+        return DataStream(self, node)
+
+    def from_bounded(self, values: Iterable[Any],
+                     name: str = "bounded-source") -> "DataSet":
+        """Data at rest: a DataSet over an in-memory collection."""
+        from repro.api.dataset import DataSet
+        materialised = list(values)
+        node = self.graph.new_node(
+            name,
+            operator_factory=lambda: IteratorSource(
+                lambda: materialised, name=name),
+            parallelism=self.parallelism, is_source=True)
+        return DataSet(self, node)
+
+    # -- plumbing used by the fluent API ------------------------------------
+
+    def _new_collect_result(self) -> CollectResult:
+        result = CollectResult()
+        self._collect_results.append(result)
+        return result
+
+    # -- execution ------------------------------------------------------------
+
+    def build_job_graph(self):
+        from repro.plan.optimizer import optimize
+        return optimize(self.graph, chaining=self.chaining)
+
+    def execute(self, job_name: str = "job",
+                from_savepoint=None) -> JobResult:
+        """Run the accumulated program to completion.
+
+        ``from_savepoint`` restores the job's state from a
+        :class:`~repro.state.savepoint.Savepoint` taken by a previous run
+        of the same program -- possibly at a different parallelism for
+        the stateful processing vertices (sources must keep theirs).
+
+        An environment executes once: sinks and sources are bound to this
+        graph instance, so re-running would double-collect results.
+        Build a fresh environment per job.
+        """
+        if self._last_engine is not None:
+            raise RuntimeError(
+                "this environment already executed; create a new "
+                "StreamExecutionEnvironment per job")
+        job_graph = self.build_job_graph()
+        engine = Engine(job_graph, self.config)
+        self._last_engine = engine
+        if from_savepoint is not None:
+            engine.restore_from_savepoint(from_savepoint)
+        result = engine.execute()
+        for collect_result in self._collect_results:
+            collect_result._mark_executed()
+        return result
+
+    @property
+    def last_engine(self) -> Optional[Engine]:
+        return self._last_engine
+
+    def explain(self) -> str:
+        """The logical and physical plan, side by side."""
+        logical = explain_stream_graph(self.graph)
+        physical = explain_job_graph(self.build_job_graph())
+        return logical + "\n" + physical

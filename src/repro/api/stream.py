@@ -1,0 +1,398 @@
+"""DataStream: the fluent API for data in motion.
+
+Every transformation appends a node to the environment's StreamGraph and
+returns a new stream handle; nothing runs until ``env.execute()``.  The
+same vocabulary (map, filter, flatMap, keyBy, window, reduce, process,
+union, connect) serves bounded and unbounded inputs -- the uniform
+programming model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.plan.graph import StreamNode
+from repro.runtime.operators import (
+    CollectSink,
+    CoProcessOperator,
+    FilterOperator,
+    FlatMapOperator,
+    ForEachSink,
+    KeyedFoldOperator,
+    KeyedProcessOperator,
+    KeyedReduceOperator,
+    MapOperator,
+    ProcessFunction,
+    TimestampsAndWatermarksOperator,
+)
+from repro.runtime.partition import (
+    BroadcastPartitioner,
+    ForwardPartitioner,
+    GlobalPartitioner,
+    HashPartitioner,
+    Partitioner,
+    RebalancePartitioner,
+)
+from repro.time.watermarks import WatermarkStrategy
+from repro.windowing.aggregates import AggregateFunction, ReduceAggregate
+from repro.windowing.assigners import WindowAssigner
+from repro.windowing.evictors import Evictor
+from repro.windowing.operator import WindowOperator
+from repro.windowing.triggers import Trigger
+
+
+class DataStream:
+    """A handle on one node of the dataflow graph."""
+
+    def __init__(self, env, node: StreamNode,
+                 partitioner: Optional[Partitioner] = None,
+                 extra_upstream: Optional[List["DataStream"]] = None) -> None:
+        self.env = env
+        self.node = node
+        # Partitioner override for the *next* hop (set by rebalance() etc.).
+        self._partitioner = partitioner
+        # Additional upstream nodes feeding the next operator (union()).
+        self._extra_upstream = extra_upstream or []
+
+    # -- wiring helpers ------------------------------------------------------
+
+    def _edge_partitioner(self, target_parallelism: int) -> Partitioner:
+        if self._partitioner is not None:
+            return self._partitioner
+        if self.node.parallelism == target_parallelism:
+            return ForwardPartitioner()
+        return RebalancePartitioner()
+
+    def _connect(self, name: str, operator_factory: Callable[[], Any],
+                 parallelism: Optional[int] = None,
+                 is_sink: bool = False,
+                 allow_chaining: bool = True) -> StreamNode:
+        p = parallelism if parallelism is not None else self.node.parallelism
+        target = self.env.graph.new_node(name, operator_factory, p,
+                                         is_sink=is_sink,
+                                         allow_chaining=allow_chaining)
+        self.env.graph.add_edge(self.node.node_id, target.node_id,
+                                self._edge_partitioner(p))
+        for upstream in self._extra_upstream:
+            self.env.graph.add_edge(
+                upstream.node.node_id, target.node_id,
+                upstream._edge_partitioner(p))
+        return target
+
+    # -- stateless transformations ---------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any], name: str = "map") -> "DataStream":
+        node = self._connect(name, lambda: MapOperator(fn, name))
+        return DataStream(self.env, node)
+
+    def flat_map(self, fn: Callable[[Any], Iterable[Any]],
+                 name: str = "flat-map") -> "DataStream":
+        node = self._connect(name, lambda: FlatMapOperator(fn, name))
+        return DataStream(self.env, node)
+
+    def filter(self, predicate: Callable[[Any], bool],
+               name: str = "filter") -> "DataStream":
+        node = self._connect(name, lambda: FilterOperator(predicate, name))
+        return DataStream(self.env, node)
+
+    # -- time ------------------------------------------------------------------
+
+    def assign_timestamps_and_watermarks(
+            self, strategy: WatermarkStrategy,
+            name: str = "timestamps/watermarks") -> "DataStream":
+        node = self._connect(
+            name, lambda: TimestampsAndWatermarksOperator(strategy, name=name))
+        return DataStream(self.env, node)
+
+    # -- partitioning ---------------------------------------------------------
+
+    def key_by(self, key_selector: Callable[[Any], Any]) -> "KeyedStream":
+        return KeyedStream(self.env, self.node, key_selector,
+                           extra_upstream=self._extra_upstream)
+
+    def rebalance(self) -> "DataStream":
+        return DataStream(self.env, self.node, RebalancePartitioner(),
+                          self._extra_upstream)
+
+    def broadcast(self) -> "DataStream":
+        return DataStream(self.env, self.node, BroadcastPartitioner(),
+                          self._extra_upstream)
+
+    def global_(self) -> "DataStream":
+        return DataStream(self.env, self.node, GlobalPartitioner(),
+                          self._extra_upstream)
+
+    # -- multi-stream ------------------------------------------------------------
+
+    def union(self, *others: "DataStream") -> "DataStream":
+        """Merge streams of the same type; the next operator reads all."""
+        return DataStream(self.env, self.node, self._partitioner,
+                          self._extra_upstream + list(others))
+
+    def connect(self, other: "DataStream") -> "ConnectedStreams":
+        return ConnectedStreams(self.env, self, other)
+
+    def window_join(self, other: "DataStream",
+                    left_key: Callable[[Any], Any],
+                    right_key: Callable[[Any], Any],
+                    assigner: WindowAssigner,
+                    join_fn: Callable[[Any, Any], Any] = lambda l, r: (l, r),
+                    parallelism: Optional[int] = None,
+                    name: str = "window-join") -> "DataStream":
+        """Join this stream with ``other`` per key and event-time window;
+        pairs are emitted when the watermark closes each window."""
+        from repro.windowing.join import WindowJoinOperator
+        p = parallelism or self.env.parallelism
+        target = self.env.graph.new_node(
+            name, lambda: WindowJoinOperator(assigner, join_fn, name), p,
+            allow_chaining=False)
+        self.env.graph.add_edge(self.node.node_id, target.node_id,
+                                HashPartitioner(left_key), target_input=0)
+        self.env.graph.add_edge(other.node.node_id, target.node_id,
+                                HashPartitioner(right_key), target_input=1)
+        return DataStream(self.env, target)
+
+    # -- sinks ----------------------------------------------------------------------
+
+    def collect(self, with_timestamps: bool = False,
+                name: str = "collect") -> "CollectResult":
+        """Gather results into a list readable after ``env.execute()``."""
+        result = self.env._new_collect_result()
+        self._connect(
+            name,
+            lambda: CollectSink(result._bucket,
+                                with_timestamps=with_timestamps, name=name),
+            parallelism=1, is_sink=True)
+        return result
+
+    def add_sink(self, fn: Callable[[Any], None],
+                 parallelism: Optional[int] = None,
+                 name: str = "sink") -> None:
+        self._connect(name, lambda: ForEachSink(fn, name),
+                      parallelism=parallelism, is_sink=True)
+
+
+class KeyedStream:
+    """A stream partitioned by key; the gateway to state and windows."""
+
+    def __init__(self, env, node: StreamNode,
+                 key_selector: Callable[[Any], Any],
+                 extra_upstream: Optional[List[DataStream]] = None) -> None:
+        self.env = env
+        self.node = node
+        self.key_selector = key_selector
+        self._extra_upstream = extra_upstream or []
+
+    def _connect_keyed(self, name: str, operator_factory: Callable[[], Any],
+                       parallelism: Optional[int] = None,
+                       allow_chaining: bool = True) -> StreamNode:
+        p = parallelism if parallelism is not None else self.env.parallelism
+        target = self.env.graph.new_node(name, operator_factory, p,
+                                         allow_chaining=allow_chaining)
+        self.env.graph.add_edge(self.node.node_id, target.node_id,
+                                HashPartitioner(self.key_selector))
+        for upstream in self._extra_upstream:
+            self.env.graph.add_edge(upstream.node.node_id, target.node_id,
+                                    HashPartitioner(self.key_selector))
+        return target
+
+    def reduce(self, reduce_fn: Callable[[Any, Any], Any],
+               name: str = "reduce") -> DataStream:
+        """Rolling per-key reduce; emits the running aggregate per record."""
+        node = self._connect_keyed(name,
+                                   lambda: KeyedReduceOperator(reduce_fn, name))
+        return DataStream(self.env, node)
+
+    def fold(self, initial: Any, fold_fn: Callable[[Any, Any], Any],
+             name: str = "fold") -> DataStream:
+        """Rolling per-key fold from ``initial``; emits the running value
+        as ``(key, accumulator)`` pairs."""
+        node = self._connect_keyed(name,
+                                   lambda: KeyedFoldOperator(initial, fold_fn,
+                                                             name))
+        return DataStream(self.env, node)
+
+    def sum(self, value_fn: Callable[[Any], float] = lambda v: v,
+            name: str = "sum") -> DataStream:
+        """Running per-key sum of ``value_fn(record)``, emitted as
+        ``(key, sum)`` pairs."""
+        return self.fold(0, lambda acc, v: acc + value_fn(v), name=name)
+
+    def count(self, name: str = "count") -> DataStream:
+        """Running per-key count, emitted as ``(key, count)`` pairs."""
+        return self.fold(0, lambda acc, _v: acc + 1, name=name)
+
+    def process(self, fn: ProcessFunction, name: str = "process") -> DataStream:
+        node = self._connect_keyed(name,
+                                   lambda: KeyedProcessOperator(fn, name))
+        return DataStream(self.env, node)
+
+    def window(self, assigner: WindowAssigner) -> "WindowedStream":
+        return WindowedStream(self, assigner)
+
+    def detect(self, pattern: "Pattern", name: str = "cep") -> DataStream:
+        """Match a CEP pattern per key; emits
+        :class:`~repro.cep.operator.KeyedMatch` records."""
+        from repro.cep.operator import CEPOperator
+        node = self._connect_keyed(name,
+                                   lambda: CEPOperator(pattern, name))
+        return DataStream(self.env, node)
+
+    def shared_windows(self, aggregate_factory: Callable[[], Any],
+                       queries: "Dict[Any, Callable[[], Any]]",
+                       reorder: bool = False,
+                       counter: Optional[Any] = None,
+                       name: str = "cutty-window") -> DataStream:
+        """Serve multiple window queries from one Cutty shared operator.
+
+        ``queries`` maps query ids to window-spec factories (e.g.
+        ``{"1m": lambda: PeriodicWindows(60_000)}``).  Emits
+        ``CuttyWindowResult(key, query_id, start, end, value)`` records.
+
+        Cutty requires per-key FIFO event order; pass ``reorder=True`` to
+        prepend a watermark-driven reordering stage (needed whenever the
+        stream was shuffled from parallel sources and carries bounded
+        out-of-orderness watermarks).
+        """
+        from repro.cutty.operator import CuttyWindowOperator
+        from repro.runtime.reorder import WatermarkReorderOperator
+
+        cutty_factory = lambda: CuttyWindowOperator(
+            aggregate_factory=aggregate_factory,
+            spec_factories=queries, counter=counter, name=name)
+        if not reorder:
+            node = self._connect_keyed(name, cutty_factory)
+            return DataStream(self.env, node)
+        reorder_node = self._connect_keyed(
+            "%s-reorder" % name, WatermarkReorderOperator)
+        cutty_node = self.env.graph.new_node(
+            name, cutty_factory, reorder_node.parallelism)
+        self.env.graph.add_edge(reorder_node.node_id, cutty_node.node_id,
+                                ForwardPartitioner())
+        return DataStream(self.env, cutty_node)
+
+
+class WindowedStream:
+    """Builder for windowed aggregations on a keyed stream."""
+
+    def __init__(self, keyed: KeyedStream, assigner: WindowAssigner) -> None:
+        self.keyed = keyed
+        self.assigner = assigner
+        self._trigger: Optional[Trigger] = None
+        self._evictor: Optional[Evictor] = None
+        self._allowed_lateness = 0
+        self._late_data_tag: Any = None
+
+    def trigger(self, trigger: Trigger) -> "WindowedStream":
+        self._trigger = trigger
+        return self
+
+    def evictor(self, evictor: Evictor) -> "WindowedStream":
+        self._evictor = evictor
+        return self
+
+    def allowed_lateness(self, lateness: int) -> "WindowedStream":
+        self._allowed_lateness = lateness
+        return self
+
+    def side_output_late_data(self, tag: Any) -> "WindowedStream":
+        """Emit records too late for any window as ``(tag, value)``
+        instead of dropping them; filter on the tag downstream."""
+        self._late_data_tag = tag
+        return self
+
+    def aggregate(self, aggregate: AggregateFunction,
+                  name: str = "window-aggregate") -> DataStream:
+        """Incremental aggregation; emits
+        :class:`~repro.windowing.operator.WindowResult` records."""
+        assigner, trig, evict, late = (self.assigner, self._trigger,
+                                       self._evictor, self._allowed_lateness)
+        tag = self._late_data_tag
+        node = self.keyed._connect_keyed(
+            name,
+            lambda: WindowOperator(assigner, aggregate=aggregate,
+                                   trigger=trig, evictor=evict,
+                                   allowed_lateness=late,
+                                   late_data_tag=tag, name=name))
+        return DataStream(self.keyed.env, node)
+
+    def reduce(self, reduce_fn: Callable[[Any, Any], Any],
+               name: str = "window-reduce") -> DataStream:
+        return self.aggregate(ReduceAggregate(reduce_fn), name=name)
+
+    def apply(self, process_fn: Callable[[Any, Any, List[Any]], Iterable[Any]],
+              name: str = "window-apply") -> DataStream:
+        """Buffering window computation with access to all elements."""
+        assigner, trig, evict, late = (self.assigner, self._trigger,
+                                       self._evictor, self._allowed_lateness)
+        tag = self._late_data_tag
+        node = self.keyed._connect_keyed(
+            name,
+            lambda: WindowOperator(assigner, process_fn=process_fn,
+                                   trigger=trig, evictor=evict,
+                                   allowed_lateness=late,
+                                   late_data_tag=tag, name=name))
+        return DataStream(self.keyed.env, node)
+
+
+class ConnectedStreams:
+    """Two streams feeding one two-input operator."""
+
+    def __init__(self, env, first: DataStream, second: DataStream) -> None:
+        self.env = env
+        self.first = first
+        self.second = second
+
+    def key_by(self, key1: Callable[[Any], Any],
+               key2: Callable[[Any], Any]) -> "ConnectedKeyedStreams":
+        return ConnectedKeyedStreams(self.env, self.first, self.second,
+                                     key1, key2)
+
+    def process(self, fn1: Callable[[Any, Any], None],
+                fn2: Callable[[Any, Any], None],
+                parallelism: int = 1,
+                name: str = "co-process") -> DataStream:
+        """Co-process with rebalanced (non-keyed) inputs."""
+        target = self.env.graph.new_node(
+            name, lambda: CoProcessOperator(fn1, fn2, name), parallelism,
+            allow_chaining=False)
+        self.env.graph.add_edge(self.first.node.node_id, target.node_id,
+                                self.first._edge_partitioner(parallelism),
+                                target_input=0)
+        self.env.graph.add_edge(self.second.node.node_id, target.node_id,
+                                RebalancePartitioner()
+                                if parallelism != self.second.node.parallelism
+                                else ForwardPartitioner(),
+                                target_input=1)
+        return DataStream(self.env, target)
+
+
+class ConnectedKeyedStreams:
+    """Two streams co-partitioned by key into one two-input operator."""
+
+    def __init__(self, env, first: DataStream, second: DataStream,
+                 key1: Callable[[Any], Any], key2: Callable[[Any], Any]) -> None:
+        self.env = env
+        self.first = first
+        self.second = second
+        self.key1 = key1
+        self.key2 = key2
+
+    def process(self, fn1: Callable[[Any, Any], None],
+                fn2: Callable[[Any, Any], None],
+                parallelism: Optional[int] = None,
+                on_finish: Optional[Callable[[Any], None]] = None,
+                name: str = "keyed-co-process") -> DataStream:
+        p = parallelism or self.env.parallelism
+        target = self.env.graph.new_node(
+            name, lambda: CoProcessOperator(fn1, fn2, name, on_finish=on_finish),
+            p, allow_chaining=False)
+        self.env.graph.add_edge(self.first.node.node_id, target.node_id,
+                                HashPartitioner(self.key1), target_input=0)
+        self.env.graph.add_edge(self.second.node.node_id, target.node_id,
+                                HashPartitioner(self.key2), target_input=1)
+        return DataStream(self.env, target)
+
+
+# Imported for type reference in collect(); placed late to avoid a cycle.
+from repro.api.environment import CollectResult  # noqa: E402

@@ -1,0 +1,7 @@
+"""Complex event processing: sequential patterns over keyed streams."""
+
+from repro.cep.nfa import NFA, Match
+from repro.cep.operator import CEPOperator, KeyedMatch
+from repro.cep.pattern import Pattern, Stage
+
+__all__ = ["NFA", "Match", "CEPOperator", "KeyedMatch", "Pattern", "Stage"]

@@ -1,0 +1,107 @@
+"""The NFA that evaluates a pattern over one key's in-order events.
+
+Each partial match tracks how far into the pattern it has progressed and
+what it captured.  Non-determinism is real: an event may simultaneously
+extend existing partial matches *and* start a new one, so overlapping
+matches are found (no after-match skipping -- every complete match is
+reported).
+
+Pruning keeps state bounded: partial matches older than ``within_ms``
+are discarded on every event, and strict (``next``) edges kill partials
+whose immediately-following event does not match.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+
+from repro.cep.pattern import Pattern, STRICT
+
+
+class Match(NamedTuple):
+    """A completed pattern instance."""
+
+    events: Dict[str, Any]   # stage name -> matched event
+    start_ts: int
+    end_ts: int
+
+
+class _Partial(NamedTuple):
+    stage_index: int              # next stage to satisfy
+    captured: Tuple[Tuple[str, Any], ...]
+    start_ts: int
+
+
+class NFA:
+    """Evaluates one pattern over one key's event sequence."""
+
+    def __init__(self, pattern: Pattern) -> None:
+        self.pattern = pattern
+        self._partials: List[_Partial] = []
+
+    @property
+    def live_partial_matches(self) -> int:
+        return len(self._partials)
+
+    def advance(self, event: Any, ts: int) -> List[Match]:
+        """Feed one event; returns matches completed by it."""
+        pattern = self.pattern
+        matches: List[Match] = []
+        survivors: List[_Partial] = []
+
+        # Existing partials first (in creation order).
+        for partial in self._partials:
+            if (pattern.within_ms is not None
+                    and ts - partial.start_ts > pattern.within_ms):
+                continue  # timed out
+            stage = pattern.stages[partial.stage_index]
+            if stage.predicate(event):
+                advanced = _Partial(
+                    partial.stage_index + 1,
+                    partial.captured + ((stage.name, event),),
+                    partial.start_ts)
+                if advanced.stage_index == pattern.length:
+                    matches.append(Match(dict(advanced.captured),
+                                         advanced.start_ts, ts))
+                else:
+                    survivors.append(advanced)
+                # Relaxed contiguity also keeps the un-advanced partial
+                # alive (the NFA branches); strict does not.
+                if stage.contiguity != STRICT:
+                    survivors.append(partial)
+            elif stage.contiguity == STRICT:
+                pass  # strict edge unmatched: partial dies
+            else:
+                survivors.append(partial)
+
+        # A fresh start at this event.
+        first = pattern.stages[0]
+        if first.predicate(event):
+            fresh = _Partial(1, ((first.name, event),), ts)
+            if fresh.stage_index == pattern.length:
+                matches.append(Match(dict(fresh.captured), ts, ts))
+            else:
+                survivors.append(fresh)
+
+        self._partials = survivors
+        return matches
+
+    def prune(self, watermark_ts: int) -> None:
+        """Drop partials that can no longer complete.
+
+        An event arriving later carries ts' >= watermark, so a partial
+        remains viable iff ``watermark - start_ts <= within`` -- i.e. a
+        completion at exactly the watermark would still be in time.
+        (The boundary is inclusive: hypothesis found the off-by-one.)
+        """
+        if self.pattern.within_ms is None:
+            return
+        horizon = watermark_ts - self.pattern.within_ms
+        self._partials = [partial for partial in self._partials
+                          if partial.start_ts >= horizon]
+
+    def snapshot(self) -> list:
+        return [tuple(partial) for partial in self._partials]
+
+    def restore(self, state: list) -> None:
+        self._partials = [_Partial(*entry) for entry in state]

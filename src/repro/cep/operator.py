@@ -1,0 +1,74 @@
+"""CEP as a keyed dataflow operator."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, NamedTuple, Optional
+
+from repro.cep.nfa import NFA, Match
+from repro.cep.pattern import Pattern
+from repro.runtime.elements import Record
+from repro.runtime.operators import Operator, OperatorContext
+
+
+class KeyedMatch(NamedTuple):
+    key: Any
+    events: Dict[str, Any]
+    start_ts: int
+    end_ts: int
+
+
+class CEPOperator(Operator):
+    """Runs one NFA per key; emits :class:`KeyedMatch` records.
+
+    Requires per-key in-order events (compose with
+    :class:`~repro.runtime.reorder.WatermarkReorderOperator` behind
+    shuffles, exactly like Cutty).  Watermarks prune timed-out partial
+    matches, bounding state.
+    """
+
+    def __init__(self, pattern: Pattern, name: str = "cep") -> None:
+        super().__init__()
+        self.name = name
+        self.pattern = pattern
+        self._nfas: Dict[Any, NFA] = {}
+
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        self._matches_counter = ctx.metrics.counter("cep_matches")
+        self._partials_gauge = ctx.metrics.gauge("cep_partial_matches")
+
+    def _nfa_for(self, key: Any) -> NFA:
+        nfa = self._nfas.get(key)
+        if nfa is None:
+            nfa = NFA(self.pattern)
+            self._nfas[key] = nfa
+        return nfa
+
+    def process(self, record: Record) -> None:
+        if record.timestamp is None:
+            raise ValueError("CEP requires timestamped records")
+        nfa = self._nfa_for(record.key)
+        for match in nfa.advance(record.value, record.timestamp):
+            self._matches_counter.inc()
+            self.ctx.emit(KeyedMatch(record.key, match.events,
+                                     match.start_ts, match.end_ts),
+                          timestamp=match.end_ts)
+        self._partials_gauge.set(sum(n.live_partial_matches
+                                     for n in self._nfas.values()))
+
+    def on_watermark(self, timestamp: int) -> None:
+        for nfa in self._nfas.values():
+            nfa.prune(timestamp)
+
+    def snapshot_state(self) -> Any:
+        return {key: nfa.snapshot() for key, nfa in self._nfas.items()}
+
+    def restore_state(self, state: Any) -> None:
+        self._nfas = {}
+        for key, partials in state.items():
+            self._nfa_for(key).restore(partials)
+
+    def rescale_operator_state(self, states, subtask_index: int,
+                               parallelism: int) -> Any:
+        from repro.runtime.operators import rescale_keyed_dict_state
+        return rescale_keyed_dict_state(states, subtask_index, parallelism)

@@ -1,0 +1,78 @@
+"""Pattern definitions for complex event processing (CEP).
+
+STREAMLINE motivates "much more advanced analyses, which are still hard
+to implement in current systems"; sequential patterns over keyed event
+streams (FlinkCEP-style) are the canonical example.  A
+:class:`Pattern` is a named sequence of predicates with contiguity and
+time constraints:
+
+    Pattern.begin("browse", lambda e: e.kind == "view")
+           .followed_by("cart", lambda e: e.kind == "add_to_cart")
+           .next("abandon", lambda e: e.kind == "exit")
+           .within(30_000)
+
+* ``followed_by`` -- relaxed contiguity: unrelated events in between are
+  skipped;
+* ``next``        -- strict contiguity: the very next event of the key
+  must match, otherwise the partial match dies;
+* ``within``      -- all matched events must fall inside the window.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, NamedTuple, Optional
+
+Predicate = Callable[[Any], bool]
+
+RELAXED = "followed_by"
+STRICT = "next"
+
+
+class Stage(NamedTuple):
+    name: str
+    predicate: Predicate
+    contiguity: str  # RELAXED for the first stage by convention
+
+
+class Pattern:
+    """An immutable pattern builder."""
+
+    def __init__(self, stages: List[Stage],
+                 within_ms: Optional[int] = None) -> None:
+        if not stages:
+            raise ValueError("a pattern needs at least one stage")
+        names = [stage.name for stage in stages]
+        if len(set(names)) != len(names):
+            raise ValueError("stage names must be unique: %r" % names)
+        self.stages = list(stages)
+        self.within_ms = within_ms
+
+    @staticmethod
+    def begin(name: str, predicate: Predicate) -> "Pattern":
+        return Pattern([Stage(name, predicate, RELAXED)])
+
+    def followed_by(self, name: str, predicate: Predicate) -> "Pattern":
+        """Relaxed contiguity: later, not necessarily adjacent."""
+        return Pattern(self.stages + [Stage(name, predicate, RELAXED)],
+                       self.within_ms)
+
+    def next(self, name: str, predicate: Predicate) -> "Pattern":
+        """Strict contiguity: the immediately following event."""
+        return Pattern(self.stages + [Stage(name, predicate, STRICT)],
+                       self.within_ms)
+
+    def within(self, duration_ms: int) -> "Pattern":
+        if duration_ms <= 0:
+            raise ValueError("within duration must be positive")
+        return Pattern(self.stages, duration_ms)
+
+    @property
+    def length(self) -> int:
+        return len(self.stages)
+
+    def __repr__(self) -> str:
+        parts = " ".join("%s:%s" % (stage.contiguity, stage.name)
+                         for stage in self.stages)
+        within = (" within %dms" % self.within_ms
+                  if self.within_ms is not None else "")
+        return "Pattern(%s%s)" % (parts, within)

@@ -1,0 +1,25 @@
+"""Sources and sinks connecting the unified API to files and generators."""
+
+from repro.connectors.partitioned import (
+    PartitionedSource,
+    partition_round_robin,
+)
+from repro.connectors.sinks import CsvFileSink, JsonlFileSink, TextFileSink
+from repro.connectors.sources import (
+    csv_records,
+    jsonl_records,
+    text_file_lines,
+    throttled,
+)
+
+__all__ = [
+    "PartitionedSource",
+    "partition_round_robin",
+    "CsvFileSink",
+    "JsonlFileSink",
+    "TextFileSink",
+    "csv_records",
+    "jsonl_records",
+    "text_file_lines",
+    "throttled",
+]

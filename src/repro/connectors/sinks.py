@@ -1,0 +1,58 @@
+"""File sinks: persisting results from either kind of program."""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Any, Callable, List, Optional, Sequence
+
+
+class TextFileSink:
+    """Buffers records and writes one per line on ``close``; use via
+    ``stream.add_sink(sink)``."""
+
+    def __init__(self, path: str,
+                 formatter: Callable[[Any], str] = str) -> None:
+        self.path = path
+        self.formatter = formatter
+        self._lines: List[str] = []
+
+    def __call__(self, value: Any) -> None:
+        self._lines.append(self.formatter(value))
+
+    def close(self) -> int:
+        """Flush to disk; returns the number of lines written."""
+        with open(self.path, "w", encoding="utf-8") as handle:
+            for line in self._lines:
+                handle.write(line + "\n")
+        return len(self._lines)
+
+
+class JsonlFileSink(TextFileSink):
+    """One JSON document per line."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path, formatter=lambda value: json.dumps(
+            value, default=repr, sort_keys=True))
+
+
+class CsvFileSink:
+    """CSV with a fixed header; records must be sequences."""
+
+    def __init__(self, path: str, header: Sequence[str]) -> None:
+        self.path = path
+        self.header = list(header)
+        self._rows: List[Sequence[Any]] = []
+
+    def __call__(self, row: Sequence[Any]) -> None:
+        if len(row) != len(self.header):
+            raise ValueError("row width %d != header width %d"
+                             % (len(row), len(self.header)))
+        self._rows.append(row)
+
+    def close(self) -> int:
+        with open(self.path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.header)
+            writer.writerows(self._rows)
+        return len(self._rows)

@@ -1,0 +1,55 @@
+"""File and generator connectors: getting data at rest and data in
+motion into the unified API."""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+
+def text_file_lines(path: str, strip: bool = True) -> Callable[[], Iterator[str]]:
+    """A replayable factory over a text file's lines, for
+    ``env.from_source``."""
+    def factory() -> Iterator[str]:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                yield line.rstrip("\n") if strip else line
+    return factory
+
+
+def csv_records(path: str, types: Optional[Dict[str, Callable[[str], Any]]] = None
+                ) -> Callable[[], Iterator[Dict[str, Any]]]:
+    """A replayable factory of dict rows from a CSV file with a header."""
+    def factory() -> Iterator[Dict[str, Any]]:
+        with open(path, "r", encoding="utf-8", newline="") as handle:
+            for row in csv.DictReader(handle):
+                if types:
+                    row = {key: (types[key](value) if key in types else value)
+                           for key, value in row.items()}
+                yield row
+    return factory
+
+
+def jsonl_records(path: str) -> Callable[[], Iterator[Any]]:
+    """A replayable factory over a JSON-lines file."""
+    def factory() -> Iterator[Any]:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+    return factory
+
+
+def throttled(factory: Callable[[], Iterable[Any]],
+              timestamps: Iterable[int]) -> Callable[[], Iterator[tuple]]:
+    """Pair a value factory with an arrival process, producing the
+    ``(value, timestamp)`` pairs that ``from_collection(...,
+    timestamped=True)`` and replayable sources expect."""
+    stamped = list(timestamps)
+
+    def paired() -> Iterator[tuple]:
+        for value, ts in zip(factory(), stamped):
+            yield (value, ts)
+    return paired

@@ -1,0 +1,47 @@
+"""Cutty: aggregate sharing for user-defined streaming windows
+(Carbone et al., CIKM 2016), the first STREAMLINE research highlight.
+
+The package provides:
+
+* :mod:`repro.cutty.specs` -- window-deterministic functions (periodic,
+  session, count, punctuation windows);
+* :mod:`repro.cutty.slicing` via :class:`SharedCuttyAggregator` -- stream
+  slicing at window begins with one lift per record;
+* :mod:`repro.cutty.flatfat` -- the FlatFAT aggregate tree shared across
+  queries;
+* :mod:`repro.cutty.baselines` -- eager per-window, lazy recompute,
+  Pairs, Panes and B-Int comparisons;
+* :class:`CuttyWindowOperator` -- the runtime operator for end-to-end
+  pipelines.
+"""
+
+from repro.cutty.flatfat import FlatFAT
+from repro.cutty.operator import CuttyWindowOperator, CuttyWindowResult
+from repro.cutty.sharing import (
+    CuttyAggregator,
+    CuttyResult,
+    SharedCuttyAggregator,
+)
+from repro.cutty.specs import (
+    CountWindows,
+    DeltaWindows,
+    PeriodicWindows,
+    PunctuationWindows,
+    SessionWindows,
+    WindowSpec,
+)
+
+__all__ = [
+    "FlatFAT",
+    "CuttyWindowOperator",
+    "CuttyWindowResult",
+    "CuttyAggregator",
+    "CuttyResult",
+    "SharedCuttyAggregator",
+    "CountWindows",
+    "DeltaWindows",
+    "PeriodicWindows",
+    "PunctuationWindows",
+    "SessionWindows",
+    "WindowSpec",
+]

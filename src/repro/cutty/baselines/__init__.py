@@ -1,0 +1,23 @@
+"""Window aggregation baselines for the Cutty comparison (E1-E5).
+
+Every baseline shares the Cutty aggregator's interface --
+``insert(value, ts) -> [CuttyResult]``, ``flush(max_ts)``, a shared
+:class:`~repro.metrics.AggregationCostCounter` and a ``live_partials``
+property -- so the benchmark harness swaps strategies freely.
+"""
+
+from repro.cutty.baselines.eager import EagerPerWindowAggregator
+from repro.cutty.baselines.lazy import LazyRecomputeAggregator
+from repro.cutty.baselines.pairs import PairsAggregator
+from repro.cutty.baselines.panes import PanesAggregator
+from repro.cutty.baselines.bint import BIntAggregator
+from repro.cutty.baselines.unshared import UnsharedMultiQueryAggregator
+
+__all__ = [
+    "EagerPerWindowAggregator",
+    "LazyRecomputeAggregator",
+    "PairsAggregator",
+    "PanesAggregator",
+    "BIntAggregator",
+    "UnsharedMultiQueryAggregator",
+]

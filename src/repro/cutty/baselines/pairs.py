@@ -1,0 +1,50 @@
+"""Pairs (Krishnamurthy et al., VLDB 2006): two-length periodic slicing.
+
+Each slide interval is cut into an (s2, s1) *pair* with
+``s2 = size % slide`` and ``s1 = slide - s2``, so that both the begin and
+the end boundary of every window land on a cut.  Produces at most two
+slices per slide -- fewer than Panes when ``gcd(size, slide)`` is small --
+but is still restricted to periodic windows.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cutty.baselines._linear import LinearSlicedAggregator
+
+
+class PairsAggregator(LinearSlicedAggregator):
+    """Alternating slice lengths aligned to window begins and ends."""
+
+    def __init__(self, aggregate, size: int, slide: int, counter=None,
+                 query_id=0) -> None:
+        super().__init__(aggregate, size, slide, counter, query_id)
+        self.s2 = size % slide
+        self.s1 = slide - self.s2
+
+    def _pattern_offsets(self) -> List[int]:
+        # Cut points within each slide period, relative to k*slide:
+        # window begins land on 0, window ends on size % slide.
+        if self.s2 == 0:
+            return [0]
+        return [0, self.s2]
+
+    def _first_cut_at_or_before(self, ts: int) -> int:
+        base = ts - (ts % self.slide)
+        candidates = [base + offset for offset in self._pattern_offsets()
+                      if base + offset <= ts]
+        return max(candidates) if candidates else base - self.slide + \
+            max(self._pattern_offsets())
+
+    def _cuts_between(self, after: int, up_to: int) -> List[int]:
+        cuts = []
+        base = after - (after % self.slide)
+        point = base
+        while point <= up_to:
+            for offset in self._pattern_offsets():
+                cut = point + offset
+                if after < cut <= up_to:
+                    cuts.append(cut)
+            point += self.slide
+        return cuts

@@ -1,0 +1,31 @@
+"""Panes (Li et al., SIGMOD Record 2005): uniform periodic slicing.
+
+The stream is cut into *panes* of ``gcd(size, slide)`` time units; every
+window is the left-to-right combine of ``size / gcd`` consecutive panes.
+Only applicable to periodic windows, and the pane width collapses towards
+1 when size and slide are nearly coprime -- the degenerate case Cutty's
+begin-only slicing avoids.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.cutty.baselines._linear import LinearSlicedAggregator
+
+
+class PanesAggregator(LinearSlicedAggregator):
+    """Uniform slices of width ``gcd(size, slide)``."""
+
+    def __init__(self, aggregate, size: int, slide: int, counter=None,
+                 query_id=0) -> None:
+        super().__init__(aggregate, size, slide, counter, query_id)
+        self.pane = math.gcd(size, slide)
+
+    def _first_cut_at_or_before(self, ts: int) -> int:
+        return ts - (ts % self.pane)
+
+    def _cuts_between(self, after: int, up_to: int) -> List[int]:
+        first = (after // self.pane + 1) * self.pane
+        return list(range(first, up_to + 1, self.pane))

@@ -1,0 +1,99 @@
+"""CuttyWindowOperator: the shared aggregator as a runtime operator.
+
+Drops into a keyed dataflow exactly where a
+:class:`~repro.windowing.operator.WindowOperator` would sit, but serves
+*all* registered window queries from one slicing aggregator per key and
+emits :class:`~repro.windowing.operator.WindowResult` records tagged with
+their query id.
+
+Assumes per-key FIFO event order (guaranteed by the engine's channels for
+a single upstream chain); out-of-order inputs should be sorted or
+bounded-buffered upstream, as in the Cutty paper's Flink implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, NamedTuple, Optional
+
+from repro.cutty.sharing import SharedCuttyAggregator
+from repro.cutty.specs import WindowSpec
+from repro.metrics import AggregationCostCounter
+from repro.runtime.elements import Record
+from repro.runtime.operators import Operator, OperatorContext
+from repro.windowing.aggregates import AggregateFunction
+
+
+class CuttyWindowResult(NamedTuple):
+    """Emission format: one window of one query for one key."""
+
+    key: Any
+    query_id: Any
+    start: Any
+    end: Any
+    value: Any
+
+
+class CuttyWindowOperator(Operator):
+    """Keyed multi-query shared window aggregation."""
+
+    def __init__(self, aggregate_factory: Callable[[], AggregateFunction],
+                 spec_factories: Dict[Any, Callable[[], WindowSpec]],
+                 counter: Optional[AggregationCostCounter] = None,
+                 name: str = "cutty-window") -> None:
+        super().__init__()
+        if not spec_factories:
+            raise ValueError("at least one window query is required")
+        self.name = name
+        self._aggregate_factory = aggregate_factory
+        self._spec_factories = spec_factories
+        self.counter = counter or AggregationCostCounter()
+        self._per_key: Dict[Any, SharedCuttyAggregator] = {}
+
+    def _aggregator_for(self, key: Any) -> SharedCuttyAggregator:
+        aggregator = self._per_key.get(key)
+        if aggregator is None:
+            aggregator = SharedCuttyAggregator(
+                self._aggregate_factory(),
+                {query_id: factory()
+                 for query_id, factory in self._spec_factories.items()},
+                counter=self.counter)
+            self._per_key[key] = aggregator
+        return aggregator
+
+    def process(self, record: Record) -> None:
+        if record.timestamp is None:
+            raise ValueError(
+                "Cutty windowing requires timestamped records; "
+                "use assign_timestamps_and_watermarks() upstream")
+        key = record.key
+        aggregator = self._aggregator_for(key)
+        for result in aggregator.insert(record.value, record.timestamp):
+            self.ctx.emit(
+                CuttyWindowResult(key, result.query_id, result.start,
+                                  result.end, result.value),
+                timestamp=record.timestamp)
+
+    def finish(self) -> None:
+        for key in sorted(self._per_key, key=repr):
+            aggregator = self._per_key[key]
+            # Flush up to the last timestamp this key saw: sessions close
+            # at last_ts + gap, periodic specs emit their tail windows.
+            for result in aggregator.flush():
+                self.ctx.emit(
+                    CuttyWindowResult(key, result.query_id, result.start,
+                                      result.end, result.value),
+                    timestamp=aggregator.max_timestamp_seen)
+
+    def snapshot_state(self) -> Any:
+        return {key: aggregator.snapshot()
+                for key, aggregator in self._per_key.items()}
+
+    def restore_state(self, state: Any) -> None:
+        self._per_key = {}
+        for key, snapshot in state.items():
+            self._aggregator_for(key).restore(snapshot)
+
+    def rescale_operator_state(self, states, subtask_index: int,
+                               parallelism: int) -> Any:
+        from repro.runtime.operators import rescale_keyed_dict_state
+        return rescale_keyed_dict_state(states, subtask_index, parallelism)

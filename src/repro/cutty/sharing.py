@@ -1,0 +1,236 @@
+"""The Cutty aggregator: stream slicing with multi-query aggregate sharing.
+
+One :class:`SharedCuttyAggregator` serves *m* concurrent window queries
+over the same (in-order) stream with:
+
+* exactly **one lift per record** (into the open slice), regardless of m
+  and of window overlap -- versus ``sum_i(size_i / slide_i)`` lifts for
+  per-window eager aggregation;
+* one FlatFAT leaf per **slice** (slices are cut at the union of all
+  queries' window-begin points), versus per record;
+* **O(log #slices)** combines per window result via FlatFAT range
+  queries.
+
+The correctness argument (Cutty, CIKM 2016): on a FIFO stream, when a
+window's end boundary is processed, every element of the open slice
+belongs to the window -- begin boundaries were already processed in
+order, so the open slice starts at or after the window's start, and no
+element with a timestamp past the end has been added yet.  A window is
+therefore ``combine(closed slices in range, open partial)``.
+
+Eviction is driven by the registered-start bookkeeping: a slice older
+than every query's oldest pending window start can never be queried
+again and is dropped from the tree.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+
+from repro.cutty.flatfat import FlatFAT
+from repro.cutty.specs import WindowSpec
+from repro.metrics import AggregationCostCounter
+from repro.windowing.aggregates import AggregateFunction, InstrumentedAggregate
+
+
+class CuttyResult(NamedTuple):
+    """One emitted window aggregate."""
+
+    query_id: Any
+    start: Any
+    end: Any
+    value: Any
+
+
+class _QueryState:
+    __slots__ = ("spec", "pending")
+
+    def __init__(self, spec: WindowSpec) -> None:
+        self.spec = spec
+        # start_id -> absolute index of the window's first slice;
+        # insertion order == window start order, so the first entry is
+        # the eviction horizon of this query.
+        self.pending: "OrderedDict[Any, int]" = OrderedDict()
+
+
+class SharedCuttyAggregator:
+    """Aggregate sharing across concurrent user-defined window queries."""
+
+    def __init__(self, aggregate: AggregateFunction,
+                 queries: Dict[Any, WindowSpec],
+                 counter: Optional[AggregationCostCounter] = None,
+                 initial_tree_capacity: int = 8) -> None:
+        if not queries:
+            raise ValueError("at least one window query is required")
+        self.counter = counter or AggregationCostCounter()
+        self._aggregate = InstrumentedAggregate(aggregate, self.counter)
+        self._queries = {query_id: _QueryState(spec)
+                         for query_id, spec in queries.items()}
+        self._tree = FlatFAT(self._aggregate, initial_tree_capacity)
+        self._open_partial: Any = None
+        self._open_count = 0
+        self._seq = 0  # next element sequence number
+        self.max_timestamp_seen: Optional[int] = None
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def live_slices(self) -> int:
+        return self._tree.size + (1 if self._open_count else 0)
+
+    @property
+    def elements_processed(self) -> int:
+        return self._seq
+
+    # -- the per-element protocol -------------------------------------------
+
+    def insert(self, value: Any, ts: int) -> List[CuttyResult]:
+        """Process one in-order element; returns completed windows."""
+        self.counter.records.inc()
+        results: List[CuttyResult] = []
+        seq = self._seq
+        self._seq += 1
+        if self.max_timestamp_seen is None or ts > self.max_timestamp_seen:
+            self.max_timestamp_seen = ts
+
+        # 1. Time-driven boundaries up to ts, globally ordered across
+        #    queries; begins sort before ends at equal points.
+        timed: List[Tuple[Any, int, Any, Tuple]] = []
+        for query_id, state in self._queries.items():
+            for event in state.spec.on_time(ts):
+                timed.append((event[1], 0 if event[0] == "begin" else 1,
+                              query_id, event))
+        timed.sort(key=lambda item: (item[0], item[1]))
+        for _, _, query_id, event in timed:
+            self._apply_event(query_id, event, results)
+
+        # 2. Element-driven boundaries that exclude/include this element
+        #    by construction of the spec (punctuation ends, count begins).
+        for query_id, state in self._queries.items():
+            for event in state.spec.before_element(value, ts, seq):
+                self._apply_event(query_id, event, results)
+
+        # 3. The element itself: exactly one lift, into the open slice.
+        if self._open_count == 0:
+            self._open_partial = self._aggregate.create_accumulator()
+        self._open_partial = self._aggregate.add(value, self._open_partial)
+        self._open_count += 1
+
+        # 4. Boundaries that include this element (count-window ends).
+        for query_id, state in self._queries.items():
+            for event in state.spec.after_element(value, ts, seq):
+                self._apply_event(query_id, event, results)
+
+        self._evict()
+        self.counter.partials.set(self.live_slices)
+        return results
+
+    def flush(self, max_ts: Optional[int] = None) -> List[CuttyResult]:
+        """End-of-stream: emit every window the specs still owe, up to
+        ``max_ts`` (defaults to the maximum timestamp seen)."""
+        if max_ts is None:
+            if self.max_timestamp_seen is None:
+                return []
+            max_ts = self.max_timestamp_seen
+        results: List[CuttyResult] = []
+        for query_id, state in self._queries.items():
+            for event in state.spec.flush(max_ts):
+                self._apply_event(query_id, event, results)
+        return results
+
+    # -- event handling ---------------------------------------------------------
+
+    def _apply_event(self, query_id: Any, event: Tuple,
+                     results: List[CuttyResult]) -> None:
+        if event[0] == "begin":
+            self._on_begin(query_id, start_id=event[2])
+        else:
+            _, _, start_id, window = event
+            self._on_end(query_id, start_id, window, results)
+
+    def _on_begin(self, query_id: Any, start_id: Any) -> None:
+        # Cut: close the open slice (empty slices never materialise, so
+        # several queries beginning at the same point share one cut).
+        if self._open_count > 0:
+            self._tree.append(self._open_partial)
+            self._open_partial = None
+            self._open_count = 0
+        # The window's first slice will be the next closed slice.
+        self._queries[query_id].pending[start_id] = self._tree.back_index
+
+    def _on_end(self, query_id: Any, start_id: Any,
+                window: Tuple[Any, Any], results: List[CuttyResult]) -> None:
+        state = self._queries[query_id]
+        start_abs = state.pending.pop(start_id, None)
+        if start_abs is None:
+            # A window whose begin predates this aggregator (e.g. resumed
+            # state); serve it from everything retained.
+            start_abs = self._tree.front_index
+        partial = self._tree.query(start_abs, self._tree.back_index)
+        if self._open_count > 0:
+            partial = (self._open_partial if partial is None
+                       else self._aggregate.merge(partial, self._open_partial))
+        if partial is None:
+            return  # empty window: nothing to emit (matches the operator)
+        value = self._aggregate.get_result(partial)
+        self.counter.results.inc()
+        results.append(CuttyResult(query_id, window[0], window[1], value))
+
+    # -- eviction --------------------------------------------------------------------
+
+    def _evict(self) -> None:
+        horizon: Optional[int] = None
+        for state in self._queries.values():
+            if state.pending:
+                oldest = next(iter(state.pending.values()))
+                horizon = oldest if horizon is None else min(horizon, oldest)
+        if horizon is None:
+            horizon = self._tree.back_index  # nobody needs closed slices
+        self._tree.evict_front(horizon)
+
+    # -- state (for the runtime operator's checkpoints) ---------------------------------
+
+    def snapshot(self) -> dict:
+        import copy
+        return copy.deepcopy({
+            "seq": self._seq,
+            "max_ts": self.max_timestamp_seen,
+            "open_partial": self._open_partial,
+            "open_count": self._open_count,
+            "pending": {qid: list(state.pending.items())
+                        for qid, state in self._queries.items()},
+            "specs": {qid: state.spec.__dict__
+                      for qid, state in self._queries.items()},
+            "slices": [(index, self._tree.get(index))
+                       for index in range(self._tree.front_index,
+                                          self._tree.back_index)],
+            "front": self._tree.front_index,
+            "back": self._tree.back_index,
+        })
+
+    def restore(self, snapshot: dict) -> None:
+        import copy
+        snapshot = copy.deepcopy(snapshot)
+        self._seq = snapshot["seq"]
+        self.max_timestamp_seen = snapshot["max_ts"]
+        self._open_partial = snapshot["open_partial"]
+        self._open_count = snapshot["open_count"]
+        for query_id, state in self._queries.items():
+            state.pending = OrderedDict(snapshot["pending"][query_id])
+            state.spec.__dict__.update(snapshot["specs"][query_id])
+        self._tree = FlatFAT(self._aggregate)
+        # Rebuild the tree preserving absolute indices.
+        for _ in range(snapshot["front"]):
+            self._tree.append(None)
+        for _, partial in snapshot["slices"]:
+            self._tree.append(partial)
+        self._tree.evict_front(snapshot["front"])
+
+
+class CuttyAggregator(SharedCuttyAggregator):
+    """Single-query convenience wrapper."""
+
+    def __init__(self, aggregate: AggregateFunction, spec: WindowSpec,
+                 counter: Optional[AggregationCostCounter] = None) -> None:
+        super().__init__(aggregate, {0: spec}, counter)

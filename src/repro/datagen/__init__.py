@@ -1,0 +1,36 @@
+"""Seeded, replayable workload generators for examples and benchmarks."""
+
+from repro.datagen.ads import AdStreamGenerator, Impression
+from repro.datagen.arrivals import (
+    BurstyArrivals,
+    PoissonArrivals,
+    UniformArrivals,
+    ZipfSampler,
+)
+from repro.datagen.clickstream import (
+    ClickEvent,
+    ClickstreamGenerator,
+    LabeledExample,
+)
+from repro.datagen.docs import Document, DocumentStreamGenerator
+from repro.datagen.ratings import Rating, RatingStreamGenerator
+from repro.datagen.timeseries import noisy_waves, random_walk, spiky_series
+
+__all__ = [
+    "AdStreamGenerator",
+    "Impression",
+    "BurstyArrivals",
+    "PoissonArrivals",
+    "UniformArrivals",
+    "ZipfSampler",
+    "ClickEvent",
+    "ClickstreamGenerator",
+    "LabeledExample",
+    "Document",
+    "DocumentStreamGenerator",
+    "Rating",
+    "RatingStreamGenerator",
+    "noisy_waves",
+    "random_walk",
+    "spiky_series",
+]

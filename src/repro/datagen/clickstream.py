@@ -1,0 +1,131 @@
+"""Clickstream generator with churn structure (customer retention).
+
+Simulates users whose hidden *engagement* decays over time; low
+engagement produces the behavioural signals a churn model should pick
+up (shorter sessions, longer absences, more support-page visits) and
+ultimately churn.  The label is derivable from the stream itself
+("no activity for `churn_horizon`"), so the example pipeline can
+construct training data the way a real retention pipeline would.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+ACTIONS = ("view", "search", "purchase", "support", "settings")
+
+
+class ClickEvent(NamedTuple):
+    user: str
+    action: str
+    timestamp: int
+    session_id: int
+    dwell_ms: int
+
+
+class LabeledExample(NamedTuple):
+    """One training example: behavioural features plus the churn label."""
+
+    user: str
+    features: Dict[str, float]
+    label: int  # 1 = churned
+
+
+class ClickstreamGenerator:
+    """Seeded, replayable clickstream over a fixed user population."""
+
+    def __init__(self, num_users: int = 100, days: int = 30,
+                 events_per_user_day: float = 8.0,
+                 churn_fraction: float = 0.3, seed: int = 17) -> None:
+        if num_users <= 0 or days <= 0:
+            raise ValueError("num_users and days must be positive")
+        if not 0 <= churn_fraction <= 1:
+            raise ValueError("churn_fraction must be in [0, 1]")
+        self.num_users = num_users
+        self.days = days
+        self.events_per_user_day = events_per_user_day
+        self.churn_fraction = churn_fraction
+        self.seed = seed
+        self._day_ms = 24 * 3600 * 1000
+
+    def _user_plan(self, rng: random.Random, index: int) -> Tuple[str, bool, int]:
+        user = "user-%04d" % index
+        churns = rng.random() < self.churn_fraction
+        churn_day = (rng.randint(self.days // 3, 2 * self.days // 3)
+                     if churns else self.days + 1)
+        return user, churns, churn_day
+
+    def events(self) -> List[ClickEvent]:
+        """The full event log, globally sorted by timestamp."""
+        rng = random.Random(self.seed)
+        log: List[ClickEvent] = []
+        session_counter = 0
+        for index in range(self.num_users):
+            user, churns, churn_day = self._user_plan(rng, index)
+            for day in range(self.days):
+                if day >= churn_day:
+                    break  # churned: silence
+                # Engagement decays as a user approaches churn.
+                remaining = churn_day - day
+                engagement = (min(1.0, remaining / 10.0) if churns else 1.0)
+                expected = self.events_per_user_day * engagement
+                count = max(0, int(rng.gauss(expected, expected * 0.3)))
+                if count == 0:
+                    continue
+                session_counter += 1
+                base_ts = day * self._day_ms + rng.randint(0, self._day_ms // 2)
+                for position in range(count):
+                    # Disengaging users visit support pages more.
+                    weights = [5, 3, 1 + 2 * engagement,
+                               1 + 3 * (1 - engagement), 1]
+                    action = rng.choices(ACTIONS, weights=weights)[0]
+                    dwell = max(100, int(rng.gauss(
+                        8000 * engagement + 1000, 2000)))
+                    log.append(ClickEvent(
+                        user, action,
+                        base_ts + position * rng.randint(5_000, 60_000),
+                        session_counter, dwell))
+        log.sort(key=lambda event: event.timestamp)
+        return log
+
+    def labeled_examples(self, observation_days: int = 14,
+                         churn_horizon_days: int = 7) -> List[LabeledExample]:
+        """Features from an observation window, label = silent afterwards."""
+        if observation_days + churn_horizon_days > self.days:
+            raise ValueError("observation + horizon must fit in the range")
+        observe_end = observation_days * self._day_ms
+        horizon_end = (observation_days + churn_horizon_days) * self._day_ms
+        per_user: Dict[str, Dict[str, float]] = {}
+        active_after: Dict[str, bool] = {}
+        for event in self.events():
+            stats = per_user.setdefault(event.user, {
+                "events": 0.0, "purchases": 0.0, "support": 0.0,
+                "dwell_total": 0.0, "last_ts": 0.0})
+            if event.timestamp < observe_end:
+                stats["events"] += 1
+                stats["dwell_total"] += event.dwell_ms
+                stats["last_ts"] = max(stats["last_ts"],
+                                       float(event.timestamp))
+                if event.action == "purchase":
+                    stats["purchases"] += 1
+                elif event.action == "support":
+                    stats["support"] += 1
+            elif event.timestamp < horizon_end:
+                active_after[event.user] = True
+        examples: List[LabeledExample] = []
+        for user, stats in sorted(per_user.items()):
+            if stats["events"] == 0:
+                continue
+            recency_days = (observe_end - stats["last_ts"]) / self._day_ms
+            features = {
+                "events_per_day": stats["events"] / observation_days,
+                "purchase_rate": stats["purchases"] / stats["events"],
+                "support_rate": stats["support"] / stats["events"],
+                "avg_dwell_s": stats["dwell_total"] / stats["events"] / 1000,
+                "recency_days": recency_days,
+                "bias_proxy": 1.0,
+            }
+            label = 0 if active_after.get(user, False) else 1
+            examples.append(LabeledExample(user, features, label))
+        return examples

@@ -1,0 +1,64 @@
+"""Seeded time-series generators for the I2 experiments (E6/E7)."""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator, List, Tuple
+
+Point = Tuple[float, float]
+
+
+def random_walk(count: int, t_min: float = 0.0, t_max: float = 1000.0,
+                step: float = 2.0, start_value: float = 0.0,
+                clamp: Tuple[float, float] = (-100.0, 100.0),
+                seed: int = 5) -> List[Point]:
+    """A bounded random walk sampled uniformly over ``[t_min, t_max]``."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    rng = random.Random(seed)
+    value = start_value
+    points: List[Point] = []
+    for index in range(count):
+        ts = t_min + (t_max - t_min) * index / max(count - 1, 1)
+        value += rng.uniform(-step, step)
+        value = max(clamp[0], min(clamp[1], value))
+        points.append((ts, value))
+    return points
+
+
+def noisy_waves(count: int, t_min: float = 0.0, t_max: float = 1000.0,
+                amplitude: float = 50.0, noise: float = 5.0,
+                seed: int = 6) -> List[Point]:
+    """Superposed sines with noise: the oscillating workload where
+    sampling-based reduction visibly fails (E7)."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    rng = random.Random(seed)
+    points: List[Point] = []
+    for index in range(count):
+        ts = t_min + (t_max - t_min) * index / max(count - 1, 1)
+        value = (amplitude * math.sin(index / 7.0)
+                 + amplitude * 0.4 * math.sin(index / 2.1)
+                 + rng.uniform(-noise, noise))
+        points.append((ts, value))
+    return points
+
+
+def spiky_series(count: int, t_min: float = 0.0, t_max: float = 1000.0,
+                 spike_probability: float = 0.02, spike_height: float = 80.0,
+                 base_noise: float = 3.0, seed: int = 9) -> List[Point]:
+    """Mostly flat with rare tall spikes: the worst case for averaging
+    reducers (PAA flattens the spikes; M4 keeps them)."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    rng = random.Random(seed)
+    points: List[Point] = []
+    for index in range(count):
+        ts = t_min + (t_max - t_min) * index / max(count - 1, 1)
+        if rng.random() < spike_probability:
+            value = spike_height * (1 if rng.random() < 0.5 else -1)
+        else:
+            value = rng.uniform(-base_noise, base_noise)
+        points.append((ts, value))
+    return points

@@ -1,0 +1,56 @@
+"""I2: interactive real-time visualization for streaming data
+(Traub et al., EDBT 2017), the second STREAMLINE research highlight.
+
+* :mod:`repro.i2.raster` -- the pixel model defining visualization
+  correctness;
+* :mod:`repro.i2.m4` -- the correct, minimal, data-rate-independent
+  time-series aggregation;
+* :mod:`repro.i2.reduction` -- sampling/averaging baselines;
+* :mod:`repro.i2.adaptive` -- streaming M4 as a dataflow operator;
+* :mod:`repro.i2.dashboard` -- the headless interactive session
+  coordinator (pan/zoom/resize re-deploy cluster-side aggregation).
+"""
+
+from repro.i2.adaptive import ChartUpdate, StreamingM4Operator
+from repro.i2.dashboard import (
+    Interaction,
+    InteractiveSession,
+    LiveChart,
+    naive_transfer_cost,
+)
+from repro.i2.m4 import ColumnAggregate, M4Aggregator
+from repro.i2.raster import (
+    Raster,
+    pixel_error,
+    pixel_error_rate,
+    render_line_chart,
+)
+from repro.i2.reduction import (
+    MinMaxReducer,
+    NthSampler,
+    PiecewiseAverage,
+    RandomSampler,
+    RawTransfer,
+    Reducer,
+)
+
+__all__ = [
+    "ChartUpdate",
+    "StreamingM4Operator",
+    "Interaction",
+    "InteractiveSession",
+    "LiveChart",
+    "naive_transfer_cost",
+    "ColumnAggregate",
+    "M4Aggregator",
+    "Raster",
+    "pixel_error",
+    "pixel_error_rate",
+    "render_line_chart",
+    "MinMaxReducer",
+    "NthSampler",
+    "PiecewiseAverage",
+    "RandomSampler",
+    "RawTransfer",
+    "Reducer",
+]

@@ -1,0 +1,152 @@
+"""The I2 interactive development environment, headless.
+
+I2 couples a notebook-style front-end to the running cluster
+application: the user pans/zooms a live chart, and the IDE *re-deploys*
+the cluster-side aggregation for the new viewport instead of shipping
+raw data and re-rendering client-side.  This module models that control
+loop without a browser:
+
+* :class:`LiveChart` -- the client: receives reduced tuples, renders the
+  raster, counts traffic;
+* :class:`InteractiveSession` -- the coordinator: holds a replayable
+  data source (standing in for the cluster-side stream/history), deploys
+  an M4 aggregation per viewport change, and records an interaction log
+  with per-interaction transfer costs;
+* :func:`naive_transfer_cost` -- what the same interaction would cost a
+  client-side-rendering tool (ship every raw tuple in range).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, NamedTuple, Optional, Tuple
+
+from repro.i2.m4 import M4Aggregator
+from repro.i2.raster import Raster, render_line_chart
+
+Point = Tuple[float, float]
+SourceFactory = Callable[[], Iterable[Point]]
+
+
+class Interaction(NamedTuple):
+    """One viewport change and its cost."""
+
+    kind: str            # "deploy" | "zoom" | "pan" | "resize"
+    t_min: float
+    t_max: float
+    width: int
+    tuples_transferred: int
+    raw_tuples_in_range: int
+
+
+class LiveChart:
+    """The client side: tuples in, pixels out."""
+
+    def __init__(self, width: int, height: int,
+                 v_min: float, v_max: float) -> None:
+        self.width = width
+        self.height = height
+        self.v_min = v_min
+        self.v_max = v_max
+        self.points: List[Point] = []
+        self.t_min: Optional[float] = None
+        self.t_max: Optional[float] = None
+        self.tuples_received = 0
+
+    def reset(self, t_min: float, t_max: float) -> None:
+        self.points = []
+        self.t_min = t_min
+        self.t_max = t_max
+
+    def receive(self, points: Iterable[Point]) -> None:
+        fresh = list(points)
+        self.points.extend(fresh)
+        self.tuples_received += len(fresh)
+
+    def render(self) -> Raster:
+        if self.t_min is None:
+            raise RuntimeError("no viewport deployed yet")
+        return render_line_chart(self.points, self.width, self.height,
+                                 self.t_min, self.t_max,
+                                 self.v_min, self.v_max)
+
+
+class InteractiveSession:
+    """The IDE coordinator: viewport changes re-deploy the aggregation."""
+
+    def __init__(self, source: SourceFactory, width: int, height: int,
+                 v_min: float, v_max: float) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("chart dimensions must be positive")
+        self.source = source
+        self.chart = LiveChart(width, height, v_min, v_max)
+        self.log: List[Interaction] = []
+        self._viewport: Optional[Tuple[float, float]] = None
+
+    # -- deployment ---------------------------------------------------------
+
+    def deploy(self, t_min: float, t_max: float,
+               kind: str = "deploy") -> Interaction:
+        """(Re-)run the cluster-side M4 aggregation for a viewport and
+        ship the reduced tuples to the chart."""
+        if t_max <= t_min:
+            raise ValueError("viewport must have positive extent")
+        aggregator = M4Aggregator(t_min, t_max, self.chart.width)
+        raw_in_range = 0
+        for ts, value in self.source():
+            if t_min <= ts <= t_max:
+                raw_in_range += 1
+                aggregator.insert(ts, value)
+        points = aggregator.points()
+        self.chart.reset(t_min, t_max)
+        self.chart.receive(points)
+        self._viewport = (t_min, t_max)
+        interaction = Interaction(kind, t_min, t_max, self.chart.width,
+                                  len(points), raw_in_range)
+        self.log.append(interaction)
+        return interaction
+
+    # -- interactions -----------------------------------------------------------
+
+    def zoom(self, t_min: float, t_max: float) -> Interaction:
+        self._require_viewport()
+        return self.deploy(t_min, t_max, kind="zoom")
+
+    def pan(self, delta: float) -> Interaction:
+        t_min, t_max = self._require_viewport()
+        return self.deploy(t_min + delta, t_max + delta, kind="pan")
+
+    def resize(self, width: int) -> Interaction:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        t_min, t_max = self._require_viewport()
+        self.chart.width = width
+        return self.deploy(t_min, t_max, kind="resize")
+
+    def _require_viewport(self) -> Tuple[float, float]:
+        if self._viewport is None:
+            raise RuntimeError("deploy() a viewport first")
+        return self._viewport
+
+    # -- accounting ----------------------------------------------------------------
+
+    @property
+    def total_transferred(self) -> int:
+        return sum(interaction.tuples_transferred
+                   for interaction in self.log)
+
+    @property
+    def total_raw(self) -> int:
+        return sum(interaction.raw_tuples_in_range
+                   for interaction in self.log)
+
+    def savings_factor(self) -> float:
+        """How many times fewer tuples than client-side rendering."""
+        if self.total_transferred == 0:
+            return 1.0
+        return self.total_raw / self.total_transferred
+
+
+def naive_transfer_cost(source: SourceFactory,
+                        t_min: float, t_max: float) -> int:
+    """Tuples a client-side-rendering tool would ship for one viewport."""
+    return sum(1 for ts, _ in source() if t_min <= ts <= t_max)

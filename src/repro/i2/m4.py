@@ -1,0 +1,156 @@
+"""M4 aggregation: I2's correct, minimal, data-rate-independent reduction.
+
+For every pixel column of the target chart, keep (at most) four tuples
+of the raw series: the **first**, the **last**, a **min** and a **max**
+within the column's time interval.  Jugel et al. (VLDB 2014) prove this
+renders pixel-identically to the raw data on a line chart; Traub et
+al.'s I2 (EDBT 2017) streams it: the operator runs on the cluster next
+to the data, so the tuples shipped to the visualization client are
+bounded by ``4 x width`` regardless of the input data rate -- the
+"data-rate independent" property STREAMLINE highlights.
+
+Why it is *correct* under the :mod:`repro.i2.raster` model: within one
+column, a connected polyline paints the full vertical span between the
+column's min and max rows, which the min/max tuples reproduce; across
+columns, the connecting segments are determined by each column's last
+and the next column's first tuple, which are preserved verbatim.
+
+Why it is *minimal*: drop any of the four (when distinct) and a raster
+pixel changes -- the min/max shrink the vertical span, the first/last
+bend an inter-column segment (see ``tests/test_i2_m4.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+class ColumnAggregate:
+    """The four extremal tuples of one pixel column."""
+
+    __slots__ = ("first", "last", "minimum", "maximum", "count")
+
+    def __init__(self) -> None:
+        self.first: Optional[Point] = None
+        self.last: Optional[Point] = None
+        self.minimum: Optional[Point] = None
+        self.maximum: Optional[Point] = None
+        self.count = 0
+
+    def add(self, ts: float, value: float) -> None:
+        point = (ts, value)
+        self.count += 1
+        if self.first is None or ts < self.first[0]:
+            self.first = point
+        if self.last is None or ts >= self.last[0]:
+            self.last = point
+        if self.minimum is None or value < self.minimum[1]:
+            self.minimum = point
+        if self.maximum is None or value > self.maximum[1]:
+            self.maximum = point
+
+    def merge(self, other: "ColumnAggregate") -> "ColumnAggregate":
+        merged = ColumnAggregate()
+        for source in (self, other):
+            if source.first is None:
+                continue
+            for point in (source.first, source.minimum, source.maximum,
+                          source.last):
+                merged.add(*point)
+            merged.count += source.count - 4
+        return merged
+
+    def points(self) -> List[Point]:
+        """The distinct tuples, in timestamp order (<= 4)."""
+        if self.first is None:
+            return []
+        unique = {self.first, self.last, self.minimum, self.maximum}
+        return sorted(unique, key=lambda p: p[0])
+
+    def __repr__(self) -> str:
+        return ("ColumnAggregate(n=%d, first=%r, min=%r, max=%r, last=%r)"
+                % (self.count, self.first, self.minimum, self.maximum,
+                   self.last))
+
+
+class M4Aggregator:
+    """Streaming M4 over a fixed chart geometry.
+
+    ``insert`` costs O(1); ``points()`` emits at most ``4 * width``
+    tuples whatever the number of inserts -- rate independence by
+    construction.
+    """
+
+    def __init__(self, t_min: float, t_max: float, width: int) -> None:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        if t_max <= t_min:
+            raise ValueError("t_max must exceed t_min")
+        self.t_min = t_min
+        self.t_max = t_max
+        self.width = width
+        self._columns: Dict[int, ColumnAggregate] = {}
+        self.inserted = 0
+
+    def column_of(self, ts: float) -> int:
+        if not self.t_min <= ts <= self.t_max:
+            raise ValueError("timestamp %r outside chart range" % ts)
+        span = self.t_max - self.t_min
+        return min(int((ts - self.t_min) / span * self.width),
+                   self.width - 1)
+
+    def insert(self, ts: float, value: float) -> None:
+        self.inserted += 1
+        column = self.column_of(ts)
+        aggregate = self._columns.get(column)
+        if aggregate is None:
+            aggregate = ColumnAggregate()
+            self._columns[column] = aggregate
+        aggregate.add(ts, value)
+
+    def insert_many(self, points: Sequence[Point]) -> None:
+        for ts, value in points:
+            self.insert(ts, value)
+
+    def column(self, index: int) -> Optional[ColumnAggregate]:
+        return self._columns.get(index)
+
+    def points(self) -> List[Point]:
+        """All retained tuples, timestamp-ordered: the client payload."""
+        output: List[Point] = []
+        for column in sorted(self._columns):
+            output.extend(self._columns[column].points())
+        return output
+
+    @property
+    def tuples_retained(self) -> int:
+        return sum(len(aggregate.points())
+                   for aggregate in self._columns.values())
+
+    def reduction_ratio(self) -> float:
+        if self.inserted == 0:
+            return 1.0
+        return self.tuples_retained / self.inserted
+
+    def rescale(self, new_width: int) -> "M4Aggregator":
+        """Down-scale to a narrower chart by merging columns.
+
+        Exact when ``width`` is a multiple of ``new_width``: the merge of
+        column aggregates loses nothing the coarser chart could show.
+        Zooming *in* (higher resolution over a sub-range) requires
+        re-aggregation from data and is handled by the dashboard
+        re-deploying the query.
+        """
+        if new_width <= 0 or new_width > self.width:
+            raise ValueError("can only rescale down within the same range")
+        scaled = M4Aggregator(self.t_min, self.t_max, new_width)
+        factor = self.width / new_width
+        for index, aggregate in self._columns.items():
+            target = min(int(index / factor), new_width - 1)
+            existing = scaled._columns.get(target)
+            scaled._columns[target] = (aggregate if existing is None
+                                       else existing.merge(aggregate))
+        scaled.inserted = self.inserted
+        return scaled

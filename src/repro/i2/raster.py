@@ -1,0 +1,125 @@
+"""The pixel raster model: I2's ground truth for visualization correctness.
+
+I2's headline claim is that its time-series aggregation is *correct* --
+the client renders exactly the same chart from the reduced data as it
+would from the raw stream -- and *minimal* in transferred tuples.  Both
+claims are only meaningful against an explicit rendering model, so this
+module provides one: a ``width x height`` binary raster and a Bresenham
+line renderer mapping a time series onto it, the standard model of the
+M4 line of work (Jugel et al., VLDB 2014) that I2's aggregation builds
+on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set, Tuple
+
+Point = Tuple[float, float]  # (timestamp, value)
+Pixel = Tuple[int, int]      # (column, row)
+
+
+class Raster:
+    """A binary pixel grid with a data-space to pixel-space mapping."""
+
+    def __init__(self, width: int, height: int,
+                 t_min: float, t_max: float,
+                 v_min: float, v_max: float) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("raster dimensions must be positive")
+        if t_max <= t_min:
+            raise ValueError("t_max must exceed t_min")
+        if v_max <= v_min:
+            raise ValueError("v_max must exceed v_min")
+        self.width = width
+        self.height = height
+        self.t_min = t_min
+        self.t_max = t_max
+        self.v_min = v_min
+        self.v_max = v_max
+        self.pixels: Set[Pixel] = set()
+
+    # -- coordinate mapping -----------------------------------------------
+
+    def column_of(self, ts: float) -> int:
+        """Pixel column of a timestamp; the right edge maps to the last
+        column (half-open buckets elsewhere, closed at the very end)."""
+        if not self.t_min <= ts <= self.t_max:
+            raise ValueError("timestamp %r outside raster time range" % ts)
+        span = self.t_max - self.t_min
+        column = int((ts - self.t_min) / span * self.width)
+        return min(column, self.width - 1)
+
+    def row_of(self, value: float) -> int:
+        value = min(max(value, self.v_min), self.v_max)  # clamp out-of-range
+        span = self.v_max - self.v_min
+        row = int((value - self.v_min) / span * self.height)
+        return min(row, self.height - 1)
+
+    def column_time_bounds(self, column: int) -> Tuple[float, float]:
+        """The half-open time interval mapping into ``column``."""
+        span = self.t_max - self.t_min
+        lo = self.t_min + column * span / self.width
+        hi = self.t_min + (column + 1) * span / self.width
+        return lo, hi
+
+    # -- drawing -----------------------------------------------------------
+
+    def draw_point(self, ts: float, value: float) -> None:
+        self.pixels.add((self.column_of(ts), self.row_of(value)))
+
+    def draw_line(self, p0: Point, p1: Point) -> None:
+        """Bresenham segment between two data-space points."""
+        x0, y0 = self.column_of(p0[0]), self.row_of(p0[1])
+        x1, y1 = self.column_of(p1[0]), self.row_of(p1[1])
+        self._bresenham(x0, y0, x1, y1)
+
+    def _bresenham(self, x0: int, y0: int, x1: int, y1: int) -> None:
+        dx = abs(x1 - x0)
+        dy = -abs(y1 - y0)
+        step_x = 1 if x0 < x1 else -1
+        step_y = 1 if y0 < y1 else -1
+        error = dx + dy
+        x, y = x0, y0
+        while True:
+            self.pixels.add((x, y))
+            if x == x1 and y == y1:
+                return
+            doubled = 2 * error
+            if doubled >= dy:
+                error += dy
+                x += step_x
+            if doubled <= dx:
+                error += dx
+                y += step_y
+
+    def clear(self) -> None:
+        self.pixels.clear()
+
+
+def render_line_chart(points: Sequence[Point], width: int, height: int,
+                      t_min: float, t_max: float,
+                      v_min: float, v_max: float) -> Raster:
+    """Render a polyline through ``points`` (sorted by timestamp)."""
+    raster = Raster(width, height, t_min, t_max, v_min, v_max)
+    ordered = sorted(points, key=lambda p: p[0])
+    if len(ordered) == 1:
+        raster.draw_point(*ordered[0])
+        return raster
+    for p0, p1 in zip(ordered, ordered[1:]):
+        raster.draw_line(p0, p1)
+    return raster
+
+
+def pixel_error(rendered: Raster, reference: Raster) -> int:
+    """Symmetric pixel difference -- the I2/M4 correctness metric."""
+    if (rendered.width, rendered.height) != (reference.width,
+                                             reference.height):
+        raise ValueError("rasters have different dimensions")
+    return len(rendered.pixels ^ reference.pixels)
+
+
+def pixel_error_rate(rendered: Raster, reference: Raster) -> float:
+    """Pixel error normalised by the reference's lit pixels."""
+    if not reference.pixels:
+        return 0.0 if not rendered.pixels else 1.0
+    return pixel_error(rendered, reference) / len(reference.pixels)

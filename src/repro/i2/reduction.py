@@ -1,0 +1,177 @@
+"""Reduction baselines for the I2 comparison (E6/E7).
+
+Each reducer consumes a time series and exposes ``points()`` -- what it
+would transfer to the visualization client -- so E6 (tuples vs. data
+rate) and E7 (pixel error) compare them under identical accounting:
+
+* :class:`RawTransfer` -- ship everything (the no-reduction strawman);
+* :class:`NthSampler` -- systematic sampling, every k-th tuple;
+* :class:`RandomSampler` -- reservoir sampling to a fixed budget;
+* :class:`PiecewiseAverage` -- PAA: one average per pixel column;
+* :class:`MinMaxReducer` -- per-column min/max only (no first/last);
+* and M4 itself (:mod:`repro.i2.m4`), the only one that is both
+  rate-independent *and* pixel-exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+class Reducer:
+    """Common accounting: raw tuples in, transferred tuples out."""
+
+    def __init__(self) -> None:
+        self.inserted = 0
+
+    def insert(self, ts: float, value: float) -> None:
+        self.inserted += 1
+        self._observe(ts, value)
+
+    def insert_many(self, points: Sequence[Point]) -> None:
+        for ts, value in points:
+            self.insert(ts, value)
+
+    def _observe(self, ts: float, value: float) -> None:
+        raise NotImplementedError
+
+    def points(self) -> List[Point]:
+        raise NotImplementedError
+
+    @property
+    def tuples_transferred(self) -> int:
+        return len(self.points())
+
+
+class RawTransfer(Reducer):
+    """No reduction: transferred tuples == input tuples."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._points: List[Point] = []
+
+    def _observe(self, ts: float, value: float) -> None:
+        self._points.append((ts, value))
+
+    def points(self) -> List[Point]:
+        return list(self._points)
+
+
+class NthSampler(Reducer):
+    """Keep every ``n``-th tuple (systematic sampling)."""
+
+    def __init__(self, n: int) -> None:
+        super().__init__()
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = n
+        self._points: List[Point] = []
+
+    def _observe(self, ts: float, value: float) -> None:
+        if (self.inserted - 1) % self.n == 0:
+            self._points.append((ts, value))
+
+    def points(self) -> List[Point]:
+        return list(self._points)
+
+
+class RandomSampler(Reducer):
+    """Reservoir sampling to a fixed tuple budget (rate-independent but
+    not pixel-correct)."""
+
+    def __init__(self, budget: int, seed: int = 13) -> None:
+        super().__init__()
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        self.budget = budget
+        self._reservoir: List[Point] = []
+        self._rng_state = seed
+
+    def _next_rand(self, bound: int) -> int:
+        self._rng_state = (self._rng_state * 1664525 + 1013904223) % (2**32)
+        return self._rng_state % bound
+
+    def _observe(self, ts: float, value: float) -> None:
+        if len(self._reservoir) < self.budget:
+            self._reservoir.append((ts, value))
+            return
+        slot = self._next_rand(self.inserted)
+        if slot < self.budget:
+            self._reservoir[slot] = (ts, value)
+
+    def points(self) -> List[Point]:
+        return sorted(self._reservoir, key=lambda p: p[0])
+
+
+class _ColumnReducer(Reducer):
+    """Shared per-pixel-column bucketing."""
+
+    def __init__(self, t_min: float, t_max: float, width: int) -> None:
+        super().__init__()
+        if width <= 0:
+            raise ValueError("width must be positive")
+        if t_max <= t_min:
+            raise ValueError("t_max must exceed t_min")
+        self.t_min = t_min
+        self.t_max = t_max
+        self.width = width
+
+    def _column_of(self, ts: float) -> int:
+        span = self.t_max - self.t_min
+        return min(int((ts - self.t_min) / span * self.width),
+                   self.width - 1)
+
+    def _column_mid_time(self, column: int) -> float:
+        span = self.t_max - self.t_min
+        return self.t_min + (column + 0.5) * span / self.width
+
+
+class PiecewiseAverage(_ColumnReducer):
+    """PAA: one (mid-time, mean) tuple per pixel column."""
+
+    def __init__(self, t_min: float, t_max: float, width: int) -> None:
+        super().__init__(t_min, t_max, width)
+        self._sums: Dict[int, Tuple[float, int]] = {}
+
+    def _observe(self, ts: float, value: float) -> None:
+        column = self._column_of(ts)
+        total, count = self._sums.get(column, (0.0, 0))
+        self._sums[column] = (total + value, count + 1)
+
+    def points(self) -> List[Point]:
+        return [(self._column_mid_time(column), total / count)
+                for column, (total, count) in sorted(self._sums.items())]
+
+
+class MinMaxReducer(_ColumnReducer):
+    """Per-column min and max with their true timestamps (2 tuples per
+    column) -- preserves vertical spans but bends inter-column joins."""
+
+    def __init__(self, t_min: float, t_max: float, width: int) -> None:
+        super().__init__(t_min, t_max, width)
+        self._extremes: Dict[int, Tuple[Point, Point]] = {}
+
+    def _observe(self, ts: float, value: float) -> None:
+        column = self._column_of(ts)
+        current = self._extremes.get(column)
+        if current is None:
+            self._extremes[column] = ((ts, value), (ts, value))
+            return
+        lo, hi = current
+        if value < lo[1]:
+            lo = (ts, value)
+        if value > hi[1]:
+            hi = (ts, value)
+        self._extremes[column] = (lo, hi)
+
+    def points(self) -> List[Point]:
+        output: List[Point] = []
+        for column in sorted(self._extremes):
+            lo, hi = self._extremes[column]
+            if lo == hi:
+                output.append(lo)
+            else:
+                output.extend(sorted((lo, hi), key=lambda p: p[0]))
+        return output

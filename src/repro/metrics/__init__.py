@@ -1,0 +1,21 @@
+"""Metrics and cost instrumentation shared across the engine and benchmarks."""
+
+from repro.metrics.metrics import (
+    AggregationCostCounter,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricGroup,
+    ThroughputTracker,
+    merge_counter_maps,
+)
+
+__all__ = [
+    "AggregationCostCounter",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricGroup",
+    "ThroughputTracker",
+    "merge_counter_maps",
+]

@@ -1,0 +1,54 @@
+"""Streaming machine learning for the four STREAMLINE applications:
+customer retention, personalized recommendations, target advertisement,
+multilingual Web processing."""
+
+from repro.ml.evaluation import (
+    PrequentialEvaluator,
+    accuracy,
+    auc,
+    log_loss,
+    rmse,
+)
+from repro.ml.als import ALSRecommender
+from repro.ml.exphist import ExponentialHistogram
+from repro.ml.ftrl import FTRLProximal
+from repro.ml.heavy_hitters import HeavyHitter, SpaceSaving
+from repro.ml.hll import HyperLogLog
+from repro.ml.langid import LanguageIdentifier
+from repro.ml.mf import StreamingMatrixFactorization
+from repro.ml.online_lr import OnlineLogisticRegression, sigmoid
+from repro.ml.sketches import BloomFilter, CountMinSketch
+from repro.ml.text import (
+    STOPWORDS,
+    char_ngrams,
+    ngram_profile,
+    remove_stopwords,
+    term_frequencies,
+    tokenize,
+)
+
+__all__ = [
+    "PrequentialEvaluator",
+    "accuracy",
+    "auc",
+    "log_loss",
+    "rmse",
+    "ALSRecommender",
+    "ExponentialHistogram",
+    "FTRLProximal",
+    "HeavyHitter",
+    "SpaceSaving",
+    "HyperLogLog",
+    "LanguageIdentifier",
+    "StreamingMatrixFactorization",
+    "OnlineLogisticRegression",
+    "sigmoid",
+    "BloomFilter",
+    "CountMinSketch",
+    "STOPWORDS",
+    "char_ngrams",
+    "ngram_profile",
+    "remove_stopwords",
+    "term_frequencies",
+    "tokenize",
+]

@@ -1,0 +1,132 @@
+"""Batch ALS matrix factorisation (the batch-layer counterpart).
+
+Alternating least squares with biases over explicit ratings -- what the
+nightly batch job of a pre-STREAMLINE recommendation stack computes.
+Paired with :class:`~repro.ml.mf.StreamingMatrixFactorization`, it
+completes the story told by experiment E9: the batch model is more
+accurate per training pass but frozen between runs, while the streaming
+model is always current; a unified platform runs both from one codebase.
+
+Uses numpy (allowed offline dependency) for the per-user/per-item
+normal-equation solves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+Rating = Tuple[str, str, float]  # (user, item, value)
+
+
+class ALSRecommender:
+    """Explicit-feedback ALS with user/item biases."""
+
+    def __init__(self, factors: int = 8, regularization: float = 0.1,
+                 iterations: int = 10, seed: int = 7) -> None:
+        if factors <= 0:
+            raise ValueError("factors must be positive")
+        if regularization < 0:
+            raise ValueError("regularization must be >= 0")
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        self.factors = factors
+        self.regularization = regularization
+        self.iterations = iterations
+        self.seed = seed
+        self._user_index: Dict[str, int] = {}
+        self._item_index: Dict[str, int] = {}
+        self._user_factors: np.ndarray = None
+        self._item_factors: np.ndarray = None
+        self._user_bias: np.ndarray = None
+        self._item_bias: np.ndarray = None
+        self.global_mean = 0.0
+        self._fitted = False
+
+    # -- training ----------------------------------------------------------
+
+    def fit(self, ratings: Iterable[Rating]) -> "ALSRecommender":
+        triples = list(ratings)
+        if not triples:
+            raise ValueError("cannot fit on an empty rating set")
+        for user, item, _ in triples:
+            self._user_index.setdefault(user, len(self._user_index))
+            self._item_index.setdefault(item, len(self._item_index))
+        num_users = len(self._user_index)
+        num_items = len(self._item_index)
+        rng = np.random.default_rng(self.seed)
+        scale = 1.0 / np.sqrt(self.factors)
+        self._user_factors = rng.normal(0, scale, (num_users, self.factors))
+        self._item_factors = rng.normal(0, scale, (num_items, self.factors))
+        self._user_bias = np.zeros(num_users)
+        self._item_bias = np.zeros(num_items)
+        self.global_mean = float(np.mean([value for _, _, value in triples]))
+
+        by_user: Dict[int, List[Tuple[int, float]]] = {}
+        by_item: Dict[int, List[Tuple[int, float]]] = {}
+        for user, item, value in triples:
+            u = self._user_index[user]
+            i = self._item_index[item]
+            by_user.setdefault(u, []).append((i, value))
+            by_item.setdefault(i, []).append((u, value))
+
+        eye = np.eye(self.factors)
+        for _ in range(self.iterations):
+            self._solve_side(by_user, self._user_factors, self._user_bias,
+                             self._item_factors, self._item_bias, eye)
+            self._solve_side(by_item, self._item_factors, self._item_bias,
+                             self._user_factors, self._user_bias, eye)
+        self._fitted = True
+        return self
+
+    def _solve_side(self, ratings_by_row, row_factors, row_bias,
+                    col_factors, col_bias, eye) -> None:
+        reg = self.regularization
+        for row, entries in ratings_by_row.items():
+            cols = np.array([c for c, _ in entries])
+            values = np.array([v for _, v in entries])
+            features = col_factors[cols]              # (n, f)
+            residual = (values - self.global_mean - col_bias[cols]
+                        - row_bias[row])
+            # Bias update (ridge, holding factors fixed).
+            prediction = features @ row_factors[row]
+            row_bias[row] = float(
+                np.sum(values - self.global_mean - col_bias[cols]
+                       - prediction)
+                / (len(entries) + reg))
+            # Factor update (normal equations).
+            residual = (values - self.global_mean - col_bias[cols]
+                        - row_bias[row])
+            gram = features.T @ features + reg * len(entries) * eye
+            rhs = features.T @ residual
+            row_factors[row] = np.linalg.solve(gram, rhs)
+
+    # -- inference -------------------------------------------------------------
+
+    def predict(self, user: str, item: str) -> float:
+        prediction = self.global_mean
+        u = self._user_index.get(user)
+        i = self._item_index.get(item)
+        if u is not None:
+            prediction += self._user_bias[u]
+        if i is not None:
+            prediction += self._item_bias[i]
+        if u is not None and i is not None:
+            prediction += float(self._user_factors[u]
+                                @ self._item_factors[i])
+        return prediction
+
+    def rmse(self, ratings: Iterable[Rating]) -> float:
+        triples = list(ratings)
+        if not triples:
+            return 0.0
+        errors = [(value - self.predict(user, item)) ** 2
+                  for user, item, value in triples]
+        return float(np.sqrt(np.mean(errors)))
+
+    def recommend(self, user: str, candidates: List[str],
+                  top_k: int = 10) -> List[Tuple[str, float]]:
+        scored = [(item, self.predict(user, item)) for item in candidates]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:top_k]

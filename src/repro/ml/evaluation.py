@@ -1,0 +1,111 @@
+"""Evaluation metrics for the application-level experiments (E12).
+
+Pure-Python implementations of the standard quality metrics the four
+STREAMLINE applications report: AUC (rank statistic), accuracy, log
+loss, RMSE, and a progressive (prequential) evaluator for the
+test-then-train protocol used in streaming ML.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+
+def auc(labels: Sequence[int], scores: Sequence[float]) -> float:
+    """Area under the ROC curve via the Mann-Whitney rank statistic."""
+    if len(labels) != len(scores):
+        raise ValueError("labels and scores must have equal length")
+    pairs = sorted(zip(scores, labels))
+    positives = sum(1 for label in labels if label == 1)
+    negatives = len(labels) - positives
+    if positives == 0 or negatives == 0:
+        raise ValueError("AUC needs both classes present")
+    # Average ranks with tie handling.
+    rank_sum = 0.0
+    index = 0
+    while index < len(pairs):
+        tie_end = index
+        while (tie_end + 1 < len(pairs)
+               and pairs[tie_end + 1][0] == pairs[index][0]):
+            tie_end += 1
+        average_rank = (index + tie_end) / 2.0 + 1.0
+        for position in range(index, tie_end + 1):
+            if pairs[position][1] == 1:
+                rank_sum += average_rank
+        index = tie_end + 1
+    return (rank_sum - positives * (positives + 1) / 2.0) / (
+        positives * negatives)
+
+
+def accuracy(labels: Sequence[int], predictions: Sequence[int]) -> float:
+    if len(labels) != len(predictions):
+        raise ValueError("labels and predictions must have equal length")
+    if not labels:
+        return 0.0
+    correct = sum(1 for label, prediction in zip(labels, predictions)
+                  if label == prediction)
+    return correct / len(labels)
+
+
+def log_loss(labels: Sequence[int], probabilities: Sequence[float],
+             eps: float = 1e-12) -> float:
+    if len(labels) != len(probabilities):
+        raise ValueError("labels and probabilities must have equal length")
+    if not labels:
+        return 0.0
+    total = 0.0
+    for label, probability in zip(labels, probabilities):
+        probability = min(max(probability, eps), 1.0 - eps)
+        total += -(label * math.log(probability)
+                   + (1 - label) * math.log(1.0 - probability))
+    return total / len(labels)
+
+
+def rmse(truth: Sequence[float], predictions: Sequence[float]) -> float:
+    if len(truth) != len(predictions):
+        raise ValueError("truth and predictions must have equal length")
+    if not truth:
+        return 0.0
+    return math.sqrt(sum((t - p) ** 2 for t, p in zip(truth, predictions))
+                     / len(truth))
+
+
+class PrequentialEvaluator:
+    """Test-then-train bookkeeping: every example is first scored, then
+    learned from; quality metrics reflect purely out-of-sample behaviour."""
+
+    def __init__(self) -> None:
+        self.labels: List[int] = []
+        self.scores: List[float] = []
+
+    def record(self, label: int, score: float) -> None:
+        self.labels.append(label)
+        self.scores.append(score)
+
+    @property
+    def count(self) -> int:
+        return len(self.labels)
+
+    def auc(self) -> float:
+        return auc(self.labels, self.scores)
+
+    def accuracy(self, threshold: float = 0.5) -> float:
+        predictions = [1 if score >= threshold else 0
+                       for score in self.scores]
+        return accuracy(self.labels, predictions)
+
+    def log_loss(self) -> float:
+        return log_loss(self.labels, self.scores)
+
+    def windowed_accuracy(self, window: int) -> List[float]:
+        """Accuracy over consecutive chunks: the drift-adaption curve."""
+        if window <= 0:
+            raise ValueError("window must be positive")
+        curve = []
+        for start in range(0, len(self.labels), window):
+            chunk_labels = self.labels[start:start + window]
+            chunk_predictions = [1 if score >= 0.5 else 0
+                                 for score in self.scores[start:start + window]]
+            curve.append(accuracy(chunk_labels, chunk_predictions))
+        return curve

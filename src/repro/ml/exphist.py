@@ -1,0 +1,85 @@
+"""Exponential histograms (Datar et al., SIAM J. Comput. 2002).
+
+Approximate counting over *sliding* windows in O(log^2 N) space: the
+"advanced window aggregation technique" family STREAMLINE invests in.
+Maintains buckets of exponentially growing sizes; the count of events in
+the last ``window`` time units is exact up to a relative error bounded by
+``1 / (2 * k)`` where ``k`` is the per-size bucket budget.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Tuple
+
+
+class ExponentialHistogram:
+    """Sliding-window count with bounded relative error."""
+
+    def __init__(self, window: int, eps: float = 0.1) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if not 0 < eps <= 1:
+            raise ValueError("eps must be in (0, 1]")
+        self.window = window
+        self.eps = eps
+        # Allow k buckets of each size before merging: k = ceil(1/(2 eps))
+        # gives relative error at most eps.
+        import math
+        self.k = max(1, math.ceil(1.0 / (2.0 * eps)))
+        # Buckets: (timestamp of most recent event, size), newest first.
+        self._buckets: Deque[Tuple[int, int]] = deque()
+        self._last_ts: int = -(2**62)
+
+    def add(self, ts: int, count: int = 1) -> None:
+        """Record ``count`` events at time ``ts`` (non-decreasing)."""
+        if ts < self._last_ts:
+            raise ValueError("timestamps must be non-decreasing")
+        self._last_ts = ts
+        for _ in range(count):
+            self._buckets.appendleft((ts, 1))
+            self._compact()
+        self._expire(ts)
+
+    def _compact(self) -> None:
+        """Merge oldest pairs whenever more than k buckets share a size."""
+        buckets = list(self._buckets)
+        index = 0
+        while index < len(buckets):
+            size = buckets[index][1]
+            same = [j for j in range(index, len(buckets))
+                    if buckets[j][1] == size]
+            if len(same) > self.k:
+                # Merge the two OLDEST buckets of this size.
+                b_idx = same[-1]
+                a_idx = same[-2]
+                merged = (buckets[a_idx][0], size * 2)
+                del buckets[b_idx]
+                buckets[a_idx] = merged
+                # Restart scan at this size class (may cascade upward).
+                continue
+            index = same[-1] + 1
+        self._buckets = deque(buckets)
+
+    def _expire(self, now: int) -> None:
+        horizon = now - self.window
+        while self._buckets and self._buckets[-1][0] <= horizon:
+            self._buckets.pop()
+
+    def estimate(self, now: int) -> int:
+        """Estimated number of events in ``(now - window, now]``."""
+        self._expire(now)
+        if not self._buckets:
+            return 0
+        total = sum(size for _, size in self._buckets)
+        oldest_size = self._buckets[-1][1]
+        # The oldest bucket straddles the boundary: count half of it.
+        return total - oldest_size // 2
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self._buckets)
+
+    def exact_upper_bound(self, now: int) -> int:
+        self._expire(now)
+        return sum(size for _, size in self._buckets)

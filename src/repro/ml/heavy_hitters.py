@@ -1,0 +1,85 @@
+"""SpaceSaving heavy hitters (Metwally et al., ICDT 2005).
+
+Finds the top-k most frequent keys of an unbounded stream with exactly
+``capacity`` counters: when a new key arrives at a full summary, it
+evicts the minimum counter and inherits its count as over-estimation
+error.  Guarantees: every key with true frequency > N/capacity is in the
+summary, and each reported count over-estimates by at most its recorded
+error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, NamedTuple, Tuple
+
+
+class HeavyHitter(NamedTuple):
+    key: Any
+    count: int
+    error: int
+
+    @property
+    def guaranteed(self) -> int:
+        """Lower bound on the true frequency."""
+        return self.count - self.error
+
+
+class SpaceSaving:
+    """Fixed-capacity stream summary."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._counts: Dict[Any, int] = {}
+        self._errors: Dict[Any, int] = {}
+        self.total = 0
+
+    def add(self, key: Any, count: int = 1) -> None:
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self.total += count
+        if key in self._counts:
+            self._counts[key] += count
+            return
+        if len(self._counts) < self.capacity:
+            self._counts[key] = count
+            self._errors[key] = 0
+            return
+        # Evict the minimum and inherit its count as error.
+        victim = min(self._counts, key=lambda k: self._counts[k])
+        victim_count = self._counts.pop(victim)
+        self._errors.pop(victim)
+        self._counts[key] = victim_count + count
+        self._errors[key] = victim_count
+
+    def top(self, k: int) -> List[HeavyHitter]:
+        entries = [HeavyHitter(key, count, self._errors[key])
+                   for key, count in self._counts.items()]
+        entries.sort(key=lambda hitter: (-hitter.count, repr(hitter.key)))
+        return entries[:k]
+
+    def estimate(self, key: Any) -> int:
+        return self._counts.get(key, 0)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def merge(self, other: "SpaceSaving") -> "SpaceSaving":
+        """Merge two summaries (counts add, errors add pessimistically)."""
+        merged = SpaceSaving(self.capacity)
+        keys = set(self._counts) | set(other._counts)
+        combined: List[Tuple[Any, int, int]] = []
+        for key in keys:
+            count = self._counts.get(key, 0) + other._counts.get(key, 0)
+            error = self._errors.get(key, 0) + other._errors.get(key, 0)
+            combined.append((key, count, error))
+        combined.sort(key=lambda item: -item[1])
+        for key, count, error in combined[:self.capacity]:
+            merged._counts[key] = count
+            merged._errors[key] = error
+        merged.total = self.total + other.total
+        return merged

@@ -1,0 +1,72 @@
+"""Online logistic regression (SGD) over sparse feature dictionaries.
+
+The workhorse of the *customer retention* (churn) application: a
+reactive model that scores each event as it arrives and learns from the
+label when it shows up -- one pass, bounded memory, no batch retraining.
+Features are ``{name: value}`` dicts (hash-free for clarity; see
+:mod:`repro.ml.ftrl` for the hashed, regularised CTR variant).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+Features = Dict[str, float]
+
+
+def sigmoid(z: float) -> float:
+    if z >= 0:
+        return 1.0 / (1.0 + math.exp(-z))
+    exp_z = math.exp(z)
+    return exp_z / (1.0 + exp_z)
+
+
+class OnlineLogisticRegression:
+    """Plain SGD with optional L2 and learning-rate decay."""
+
+    def __init__(self, learning_rate: float = 0.1,
+                 l2: float = 0.0,
+                 decay: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if l2 < 0 or decay < 0:
+            raise ValueError("l2 and decay must be >= 0")
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.decay = decay
+        self.weights: Dict[str, float] = {}
+        self.bias = 0.0
+        self.updates = 0
+
+    def predict_proba(self, features: Features) -> float:
+        z = self.bias + sum(self.weights.get(name, 0.0) * value
+                            for name, value in features.items())
+        return sigmoid(z)
+
+    def predict(self, features: Features, threshold: float = 0.5) -> int:
+        return 1 if self.predict_proba(features) >= threshold else 0
+
+    def update(self, features: Features, label: int) -> float:
+        """One SGD step; returns the pre-update probability (prequential)."""
+        if label not in (0, 1):
+            raise ValueError("label must be 0 or 1")
+        probability = self.predict_proba(features)
+        error = probability - label
+        rate = self.learning_rate / (1.0 + self.decay * self.updates)
+        for name, value in features.items():
+            weight = self.weights.get(name, 0.0)
+            gradient = error * value + self.l2 * weight
+            self.weights[name] = weight - rate * gradient
+        self.bias -= rate * error
+        self.updates += 1
+        return probability
+
+    def snapshot(self) -> dict:
+        return {"weights": dict(self.weights), "bias": self.bias,
+                "updates": self.updates}
+
+    def restore(self, state: dict) -> None:
+        self.weights = dict(state["weights"])
+        self.bias = state["bias"]
+        self.updates = state["updates"]

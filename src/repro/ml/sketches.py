@@ -1,0 +1,101 @@
+"""Probabilistic sketches: sublinear state for unbounded streams.
+
+Count-Min for frequency estimation and a Bloom filter for membership --
+the building blocks behind "advanced analyses" on data in motion where
+exact per-key state would not fit (e.g. per-ad impression counts in the
+targeting application).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.runtime.partition import hash_key
+
+
+class CountMinSketch:
+    """Frequency over-estimates with epsilon-delta guarantees.
+
+    ``estimate(x) >= true(x)`` always, and exceeds it by more than
+    ``eps * N`` with probability at most ``delta`` when built via
+    :meth:`with_guarantees`.
+    """
+
+    def __init__(self, width: int = 2048, depth: int = 5) -> None:
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        self._tables: List[List[int]] = [[0] * width for _ in range(depth)]
+        self.total = 0
+
+    @classmethod
+    def with_guarantees(cls, eps: float, delta: float) -> "CountMinSketch":
+        import math
+        if not 0 < eps < 1 or not 0 < delta < 1:
+            raise ValueError("eps and delta must be in (0, 1)")
+        width = math.ceil(math.e / eps)
+        depth = math.ceil(math.log(1.0 / delta))
+        return cls(width=width, depth=max(depth, 1))
+
+    def _index(self, row: int, item: Any) -> int:
+        return hash_key((row, item)) % self.width
+
+    def add(self, item: Any, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self.total += count
+        for row in range(self.depth):
+            self._tables[row][self._index(row, item)] += count
+
+    def estimate(self, item: Any) -> int:
+        return min(self._tables[row][self._index(row, item)]
+                   for row in range(self.depth))
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        if (self.width, self.depth) != (other.width, other.depth):
+            raise ValueError("sketch dimensions must match to merge")
+        merged = CountMinSketch(self.width, self.depth)
+        for row in range(self.depth):
+            merged._tables[row] = [a + b for a, b in
+                                   zip(self._tables[row], other._tables[row])]
+        merged.total = self.total + other.total
+        return merged
+
+
+class BloomFilter:
+    """Set membership with tunable false-positive rate, no false negatives."""
+
+    def __init__(self, num_bits: int = 2**16, num_hashes: int = 5) -> None:
+        if num_bits <= 0 or num_hashes <= 0:
+            raise ValueError("num_bits and num_hashes must be positive")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._bits = bytearray((num_bits + 7) // 8)
+        self.inserted = 0
+
+    @classmethod
+    def for_capacity(cls, capacity: int, fp_rate: float = 0.01) -> "BloomFilter":
+        import math
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 < fp_rate < 1:
+            raise ValueError("fp_rate must be in (0, 1)")
+        num_bits = math.ceil(-capacity * math.log(fp_rate) / (math.log(2) ** 2))
+        num_hashes = max(1, round(num_bits / capacity * math.log(2)))
+        return cls(num_bits=num_bits, num_hashes=num_hashes)
+
+    def _positions(self, item: Any) -> List[int]:
+        # Double hashing: h1 + i*h2, the standard Kirsch-Mitzenmacher trick.
+        h1 = hash_key(("bloom1", item))
+        h2 = hash_key(("bloom2", item)) | 1
+        return [(h1 + i * h2) % self.num_bits for i in range(self.num_hashes)]
+
+    def add(self, item: Any) -> None:
+        self.inserted += 1
+        for position in self._positions(item):
+            self._bits[position // 8] |= 1 << (position % 8)
+
+    def might_contain(self, item: Any) -> bool:
+        return all(self._bits[position // 8] & (1 << (position % 8))
+                   for position in self._positions(item))

@@ -1,0 +1,54 @@
+"""Text processing primitives for the multilingual Web application."""
+
+from __future__ import annotations
+
+import re
+from collections import Counter as _Counter
+from typing import Dict, Iterable, List, Tuple
+
+_TOKEN_RE = re.compile(r"[^\W\d_]+", re.UNICODE)
+
+# A deliberately small multilingual stopword sample; the pipeline treats
+# it as data, so real deployments plug in their own lists.
+STOPWORDS = {
+    "en": {"the", "a", "an", "and", "or", "of", "to", "in", "is", "it",
+           "that", "for", "on", "with", "as", "this", "was", "are"},
+    "de": {"der", "die", "das", "und", "oder", "von", "zu", "in", "ist",
+           "es", "dass", "mit", "auf", "nicht", "ein", "eine", "war"},
+    "fr": {"le", "la", "les", "et", "ou", "de", "un", "une", "est", "il",
+           "que", "pour", "dans", "avec", "sur", "ne", "pas"},
+    "es": {"el", "la", "los", "las", "y", "o", "de", "un", "una", "es",
+           "que", "para", "en", "con", "no", "se", "por"},
+    "hu": {"a", "az", "és", "vagy", "hogy", "nem", "egy", "van", "meg",
+           "is", "el", "ez", "de", "volt"},
+}
+
+
+def tokenize(text: str) -> List[str]:
+    """Lower-cased unicode word tokens."""
+    return [match.group(0).lower() for match in _TOKEN_RE.finditer(text)]
+
+
+def remove_stopwords(tokens: Iterable[str], language: str) -> List[str]:
+    stop = STOPWORDS.get(language, set())
+    return [token for token in tokens if token not in stop]
+
+
+def term_frequencies(tokens: Iterable[str]) -> Dict[str, int]:
+    return dict(_Counter(tokens))
+
+
+def char_ngrams(text: str, n: int = 3) -> List[str]:
+    """Character n-grams over a padded, lower-cased string -- the
+    language-identification feature set."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    padded = " %s " % " ".join(tokenize(text))
+    return [padded[i:i + n] for i in range(len(padded) - n + 1)]
+
+
+def ngram_profile(text: str, n: int = 3, top: int = 300) -> List[str]:
+    """The ``top`` most frequent n-grams, rank-ordered (Cavnar-Trenkle)."""
+    counts = _Counter(char_ngrams(text, n))
+    return [gram for gram, _ in
+            sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:top]]

@@ -1,0 +1,29 @@
+"""Logical plans, the chaining optimizer and plan explanation."""
+
+from repro.plan.chaining import build_job_graph
+from repro.plan.explain import explain_job_graph, explain_stream_graph
+from repro.plan.optimizer import eliminate_dead_branches, optimize
+from repro.plan.graph import (
+    GraphValidationError,
+    JobEdge,
+    JobGraph,
+    JobVertex,
+    StreamEdge,
+    StreamGraph,
+    StreamNode,
+)
+
+__all__ = [
+    "eliminate_dead_branches",
+    "optimize",
+    "build_job_graph",
+    "explain_job_graph",
+    "explain_stream_graph",
+    "GraphValidationError",
+    "JobEdge",
+    "JobGraph",
+    "JobVertex",
+    "StreamEdge",
+    "StreamGraph",
+    "StreamNode",
+]

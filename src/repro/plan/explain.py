@@ -1,0 +1,36 @@
+"""Human-readable plan rendering (``env.explain()``)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.plan.graph import JobGraph, StreamGraph
+
+
+def explain_stream_graph(graph: StreamGraph) -> str:
+    lines: List[str] = ["== Logical plan (StreamGraph) =="]
+    for node in graph.topological_order():
+        role = " [source]" if node.is_source else (" [sink]" if node.is_sink else "")
+        lines.append("  (%d) %s, parallelism=%d%s"
+                     % (node.node_id, node.name, node.parallelism, role))
+        for edge in graph.out_edges(node.node_id):
+            target = graph.nodes[edge.target_id]
+            lines.append("        -> (%d) %s via %s"
+                         % (target.node_id, target.name, edge.partitioner.name))
+    return "\n".join(lines)
+
+
+def explain_job_graph(job_graph: JobGraph) -> str:
+    lines: List[str] = ["== Physical plan (JobGraph) =="]
+    for vertex_id in sorted(job_graph.vertices):
+        vertex = job_graph.vertices[vertex_id]
+        role = " [source]" if vertex.is_source else ""
+        lines.append("  [%d] %s, parallelism=%d, chain=%d%s"
+                     % (vertex.vertex_id, vertex.name, vertex.parallelism,
+                        vertex.chain_length, role))
+        for edge in job_graph.out_edges(vertex_id):
+            target = job_graph.vertices[edge.target_vertex]
+            lines.append("        -> [%d] %s via %s"
+                         % (target.vertex_id, target.name,
+                            edge.partitioner.name))
+    return "\n".join(lines)

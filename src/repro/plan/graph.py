@@ -1,0 +1,210 @@
+"""Logical dataflow graphs: the StreamGraph built by the API and the
+JobGraph produced by the optimizer.
+
+The uniform programming model builds one :class:`StreamGraph` regardless
+of whether inputs are bounded (data at rest) or unbounded (data in
+motion).  The optimizer (:mod:`repro.plan.chaining`) fuses eligible
+pipelined edges into chains, yielding a :class:`JobGraph` whose vertices
+the runtime expands into parallel subtasks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.runtime.partition import Partitioner
+
+OperatorFactory = Callable[[], Any]
+
+
+class StreamNode:
+    """One logical operator in the user's program."""
+
+    def __init__(self, node_id: int, name: str,
+                 operator_factory: OperatorFactory,
+                 parallelism: int,
+                 is_source: bool = False,
+                 is_sink: bool = False,
+                 allow_chaining: bool = True) -> None:
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1; got %d" % parallelism)
+        self.node_id = node_id
+        self.name = name
+        self.operator_factory = operator_factory
+        self.parallelism = parallelism
+        self.is_source = is_source
+        self.is_sink = is_sink
+        self.allow_chaining = allow_chaining
+
+    def __repr__(self) -> str:
+        return "StreamNode(%d, %r, p=%d)" % (self.node_id, self.name,
+                                             self.parallelism)
+
+
+class StreamEdge:
+    """A logical connection between two stream nodes.
+
+    ``target_input`` selects which input of a multi-input operator this
+    edge feeds (0 for the build side / primary input, 1 for the probe /
+    secondary input of joins and co-process operators).
+    """
+
+    def __init__(self, source_id: int, target_id: int,
+                 partitioner: Partitioner, target_input: int = 0) -> None:
+        if target_input not in (0, 1):
+            raise ValueError("target_input must be 0 or 1")
+        self.source_id = source_id
+        self.target_id = target_id
+        self.partitioner = partitioner
+        self.target_input = target_input
+
+    def __repr__(self) -> str:
+        return "StreamEdge(%d -> %d.in%d via %s)" % (
+            self.source_id, self.target_id, self.target_input,
+            self.partitioner.name)
+
+
+class GraphValidationError(Exception):
+    """The user's program does not form a valid dataflow."""
+
+
+class StreamGraph:
+    """The DAG the fluent API accumulates."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, StreamNode] = {}
+        self._edges: List[StreamEdge] = []
+        self._next_id = 0
+
+    def new_node(self, name: str, operator_factory: OperatorFactory,
+                 parallelism: int, is_source: bool = False,
+                 is_sink: bool = False,
+                 allow_chaining: bool = True) -> StreamNode:
+        node = StreamNode(self._next_id, name, operator_factory, parallelism,
+                          is_source=is_source, is_sink=is_sink,
+                          allow_chaining=allow_chaining)
+        self._nodes[node.node_id] = node
+        self._next_id += 1
+        return node
+
+    def add_edge(self, source_id: int, target_id: int,
+                 partitioner: Partitioner,
+                 target_input: int = 0) -> StreamEdge:
+        if source_id not in self._nodes:
+            raise GraphValidationError("unknown source node %d" % source_id)
+        if target_id not in self._nodes:
+            raise GraphValidationError("unknown target node %d" % target_id)
+        edge = StreamEdge(source_id, target_id, partitioner, target_input)
+        self._edges.append(edge)
+        return edge
+
+    @property
+    def nodes(self) -> Dict[int, StreamNode]:
+        return self._nodes
+
+    @property
+    def edges(self) -> List[StreamEdge]:
+        return self._edges
+
+    def in_edges(self, node_id: int) -> List[StreamEdge]:
+        return [e for e in self._edges if e.target_id == node_id]
+
+    def out_edges(self, node_id: int) -> List[StreamEdge]:
+        return [e for e in self._edges if e.source_id == node_id]
+
+    def sources(self) -> List[StreamNode]:
+        return [n for n in self._nodes.values() if n.is_source]
+
+    def validate(self) -> None:
+        """Raise :class:`GraphValidationError` unless the graph is a DAG
+        with at least one source, and every non-source node is reachable."""
+        if not self._nodes:
+            raise GraphValidationError("empty program: no operators defined")
+        if not self.sources():
+            raise GraphValidationError("program has no sources")
+        for node in self._nodes.values():
+            if not node.is_source and not self.in_edges(node.node_id):
+                raise GraphValidationError(
+                    "operator %r has no inputs and is not a source" % node.name)
+        self.topological_order()  # raises on cycles
+
+    def topological_order(self) -> List[StreamNode]:
+        """Kahn's algorithm; raises on cycles."""
+        in_degree = {node_id: 0 for node_id in self._nodes}
+        for edge in self._edges:
+            in_degree[edge.target_id] += 1
+        ready = sorted(nid for nid, deg in in_degree.items() if deg == 0)
+        order: List[StreamNode] = []
+        while ready:
+            node_id = ready.pop(0)
+            order.append(self._nodes[node_id])
+            for edge in self.out_edges(node_id):
+                in_degree[edge.target_id] -= 1
+                if in_degree[edge.target_id] == 0:
+                    ready.append(edge.target_id)
+            ready.sort()
+        if len(order) != len(self._nodes):
+            raise GraphValidationError("dataflow graph contains a cycle")
+        return order
+
+
+class JobVertex:
+    """A chain of one or more operators executed by the same subtasks."""
+
+    def __init__(self, vertex_id: int, names: List[str],
+                 operator_factories: List[OperatorFactory],
+                 parallelism: int, is_source: bool) -> None:
+        self.vertex_id = vertex_id
+        self.names = names
+        self.operator_factories = operator_factories
+        self.parallelism = parallelism
+        self.is_source = is_source
+
+    @property
+    def name(self) -> str:
+        return " -> ".join(self.names)
+
+    @property
+    def chain_length(self) -> int:
+        return len(self.operator_factories)
+
+    def __repr__(self) -> str:
+        return "JobVertex(%d, %r, p=%d)" % (self.vertex_id, self.name,
+                                            self.parallelism)
+
+
+class JobEdge:
+    """A physical connection between two job vertices."""
+
+    def __init__(self, source_vertex: int, target_vertex: int,
+                 partitioner: Partitioner, target_input: int = 0) -> None:
+        self.source_vertex = source_vertex
+        self.target_vertex = target_vertex
+        self.partitioner = partitioner
+        self.target_input = target_input
+
+    def __repr__(self) -> str:
+        return "JobEdge(%d -> %d.in%d via %s)" % (
+            self.source_vertex, self.target_vertex, self.target_input,
+            self.partitioner.name)
+
+
+class JobGraph:
+    """The optimized plan handed to the runtime."""
+
+    def __init__(self, vertices: Dict[int, JobVertex],
+                 edges: List[JobEdge]) -> None:
+        self.vertices = vertices
+        self.edges = edges
+
+    def in_edges(self, vertex_id: int) -> List[JobEdge]:
+        return [e for e in self.edges if e.target_vertex == vertex_id]
+
+    def out_edges(self, vertex_id: int) -> List[JobEdge]:
+        return [e for e in self.edges if e.source_vertex == vertex_id]
+
+    def sources(self) -> List[JobVertex]:
+        return [v for v in self.vertices.values() if v.is_source]
+
+    def total_chained_operators(self) -> int:
+        return sum(v.chain_length for v in self.vertices.values())

@@ -1,0 +1,61 @@
+"""Plan-level optimizer: the passes between StreamGraph and JobGraph.
+
+Two passes run on every ``env.execute()``:
+
+1. **dead-branch elimination** -- operators with no path to any sink
+   compute results nobody observes; they are removed (with their
+   upstream-only dependencies) before physical planning.  Skipped when
+   the program declares no sinks at all (then everything is
+   intentionally effect-free, e.g. cost-model benchmarks driving
+   operators directly).
+2. **operator chaining** -- see :mod:`repro.plan.chaining`.
+
+The Table layer adds its own relational rewrites upstream of this
+(:mod:`repro.table.optimizer`); this module is about the dataflow graph
+itself.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.plan.chaining import build_job_graph
+from repro.plan.graph import JobGraph, StreamGraph
+
+
+def reachable_to_sinks(graph: StreamGraph) -> Set[int]:
+    """Node ids with a path to at least one sink (sinks included)."""
+    sinks = [node.node_id for node in graph.nodes.values() if node.is_sink]
+    reachable: Set[int] = set()
+    frontier = list(sinks)
+    while frontier:
+        node_id = frontier.pop()
+        if node_id in reachable:
+            continue
+        reachable.add(node_id)
+        for edge in graph.in_edges(node_id):
+            frontier.append(edge.source_id)
+    return reachable
+
+
+def eliminate_dead_branches(graph: StreamGraph) -> List[str]:
+    """Remove operators that cannot influence any sink; returns the
+    names of the removed operators (for explain/diagnostics)."""
+    if not any(node.is_sink for node in graph.nodes.values()):
+        return []  # sink-free program: nothing to anchor liveness on
+    live = reachable_to_sinks(graph)
+    dead = [node_id for node_id in graph.nodes if node_id not in live]
+    if not dead:
+        return []
+    removed_names = [graph.nodes[node_id].name for node_id in sorted(dead)]
+    for node_id in dead:
+        del graph.nodes[node_id]
+    graph._edges = [edge for edge in graph.edges
+                    if edge.source_id in live and edge.target_id in live]
+    return removed_names
+
+
+def optimize(graph: StreamGraph, chaining: bool = True) -> JobGraph:
+    """The full pipeline: dead-branch elimination, then chaining."""
+    eliminate_dead_branches(graph)
+    return build_job_graph(graph, chaining=chaining)

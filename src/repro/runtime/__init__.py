@@ -1,0 +1,99 @@
+"""The pipelined execution runtime: elements, channels, tasks, engine."""
+
+from repro.runtime.channels import Channel
+from repro.runtime.elements import (
+    END_OF_STREAM,
+    MAX_TIMESTAMP,
+    MAX_WATERMARK,
+    MIN_TIMESTAMP,
+    CheckpointBarrier,
+    EndOfStream,
+    Record,
+    StreamElement,
+    Watermark,
+)
+from repro.runtime.engine import (
+    Engine,
+    EngineConfig,
+    InjectedFailure,
+    JobFailedError,
+    JobResult,
+    JobStalledError,
+)
+from repro.runtime.operators import (
+    CollectSink,
+    CoProcessOperator,
+    FilterOperator,
+    FlatMapOperator,
+    ForEachSink,
+    IteratorSource,
+    KeyedProcessOperator,
+    KeyedReduceOperator,
+    MapOperator,
+    Operator,
+    OperatorContext,
+    ProcessFunction,
+    SinkOperator,
+    SourceContext,
+    SourceOperator,
+    TimestampsAndWatermarksOperator,
+)
+from repro.runtime.partition import (
+    BroadcastPartitioner,
+    ForwardPartitioner,
+    GlobalPartitioner,
+    HashPartitioner,
+    Partitioner,
+    RebalancePartitioner,
+    hash_key,
+)
+# NOTE: repro.runtime.elasticity is intentionally NOT imported here --
+# it builds environments (repro.api) and would create an import cycle;
+# import it directly: `from repro.runtime.elasticity import ...`.
+from repro.runtime.reorder import WatermarkReorderOperator
+from repro.runtime.task import OutputEdge, Task
+
+__all__ = [
+    "Channel",
+    "END_OF_STREAM",
+    "MAX_TIMESTAMP",
+    "MAX_WATERMARK",
+    "MIN_TIMESTAMP",
+    "CheckpointBarrier",
+    "EndOfStream",
+    "Record",
+    "StreamElement",
+    "Watermark",
+    "Engine",
+    "EngineConfig",
+    "InjectedFailure",
+    "JobFailedError",
+    "JobResult",
+    "JobStalledError",
+    "CollectSink",
+    "CoProcessOperator",
+    "FilterOperator",
+    "FlatMapOperator",
+    "ForEachSink",
+    "IteratorSource",
+    "KeyedProcessOperator",
+    "KeyedReduceOperator",
+    "MapOperator",
+    "Operator",
+    "OperatorContext",
+    "ProcessFunction",
+    "SinkOperator",
+    "SourceContext",
+    "SourceOperator",
+    "TimestampsAndWatermarksOperator",
+    "BroadcastPartitioner",
+    "ForwardPartitioner",
+    "GlobalPartitioner",
+    "HashPartitioner",
+    "Partitioner",
+    "RebalancePartitioner",
+    "hash_key",
+    "OutputEdge",
+    "Task",
+    "WatermarkReorderOperator",
+]

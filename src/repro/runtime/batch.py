@@ -1,0 +1,213 @@
+"""Blocking (batch) operators: data at rest on the streaming runtime.
+
+These operators realise the "single pipelined engine" claim: a DataSet
+program lowers to the same task/channel runtime as a DataStream program,
+the only difference being that these operators *materialise* their input
+(``process`` buffers) and produce output when the bounded input ends
+(``finish``).  No second execution engine exists.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.runtime.elements import Record
+from repro.runtime.operators import Operator, OperatorContext
+
+
+class GroupReduceOperator(Operator):
+    """Full per-key grouping; ``reduce_fn(key, values) -> result`` runs once
+    per key at end of input."""
+
+    def __init__(self, key_selector: Callable[[Any], Any],
+                 reduce_fn: Callable[[Any, List[Any]], Any],
+                 name: str = "group-reduce") -> None:
+        super().__init__()
+        self.name = name
+        self._key_selector = key_selector
+        self._reduce_fn = reduce_fn
+        self._groups: Dict[Any, List[Any]] = {}
+
+    def process(self, record: Record) -> None:
+        self._groups.setdefault(self._key_selector(record.value),
+                                []).append(record.value)
+
+    def finish(self) -> None:
+        for key in sorted(self._groups, key=repr):
+            self.ctx.emit(self._reduce_fn(key, self._groups[key]))
+        self._groups.clear()
+
+    def snapshot_state(self) -> Any:
+        return {key: list(values) for key, values in self._groups.items()}
+
+    def restore_state(self, state: Any) -> None:
+        self._groups = {key: list(values) for key, values in state.items()}
+
+    def rescale_operator_state(self, states, subtask_index: int,
+                               parallelism: int) -> Any:
+        from repro.runtime.operators import rescale_keyed_dict_state
+        return rescale_keyed_dict_state(states, subtask_index, parallelism)
+
+
+class SortOperator(Operator):
+    """Materialising total sort (single parallelism recommended)."""
+
+    def __init__(self, key_fn: Optional[Callable[[Any], Any]] = None,
+                 descending: bool = False, name: str = "sort") -> None:
+        super().__init__()
+        self.name = name
+        self._key_fn = key_fn
+        self._descending = descending
+        self._buffer: List[Any] = []
+
+    def process(self, record: Record) -> None:
+        self._buffer.append(record.value)
+
+    def finish(self) -> None:
+        self._buffer.sort(key=self._key_fn, reverse=self._descending)
+        for value in self._buffer:
+            self.ctx.emit(value)
+        self._buffer.clear()
+
+    def snapshot_state(self) -> Any:
+        return list(self._buffer)
+
+    def restore_state(self, state: Any) -> None:
+        self._buffer = list(state)
+
+
+class DistinctOperator(Operator):
+    """Emits each distinct value once, at end of input, in first-seen order."""
+
+    def __init__(self, key_fn: Optional[Callable[[Any], Any]] = None,
+                 name: str = "distinct") -> None:
+        super().__init__()
+        self.name = name
+        self._key_fn = key_fn or (lambda value: value)
+        self._seen: Dict[Any, Any] = {}
+
+    def process(self, record: Record) -> None:
+        key = self._key_fn(record.value)
+        if key not in self._seen:
+            self._seen[key] = record.value
+
+    def finish(self) -> None:
+        for value in self._seen.values():
+            self.ctx.emit(value)
+        self._seen.clear()
+
+    def snapshot_state(self) -> Any:
+        return dict(self._seen)
+
+    def restore_state(self, state: Any) -> None:
+        self._seen = dict(state)
+
+
+class HashJoinOperator(Operator):
+    """Two-input equi-join: builds a hash table on input 1, probes with
+    input 2 once both inputs ended.
+
+    Emits ``join_fn(left, right)`` for every matching pair.  Both sides
+    are materialised because either may finish first in a pipelined
+    runtime.
+    """
+
+    def __init__(self, left_key: Callable[[Any], Any],
+                 right_key: Callable[[Any], Any],
+                 join_fn: Callable[[Any, Any], Any] = lambda l, r: (l, r),
+                 name: str = "hash-join") -> None:
+        super().__init__()
+        self.name = name
+        self._left_key = left_key
+        self._right_key = right_key
+        self._join_fn = join_fn
+        self._left: Dict[Any, List[Any]] = {}
+        self._right: List[Any] = []
+
+    def process(self, record: Record) -> None:
+        self._left.setdefault(self._left_key(record.value),
+                              []).append(record.value)
+
+    def process2(self, record: Record) -> None:
+        self._right.append(record.value)
+
+    def finish(self) -> None:
+        for right_value in self._right:
+            key = self._right_key(right_value)
+            for left_value in self._left.get(key, ()):
+                self.ctx.emit(self._join_fn(left_value, right_value))
+        self._left.clear()
+        self._right.clear()
+
+    def snapshot_state(self) -> Any:
+        return {"left": {k: list(v) for k, v in self._left.items()},
+                "right": list(self._right)}
+
+    def restore_state(self, state: Any) -> None:
+        self._left = {k: list(v) for k, v in state["left"].items()}
+        self._right = list(state["right"])
+
+    def rescale_operator_state(self, states, subtask_index: int,
+                               parallelism: int) -> Any:
+        from repro.runtime.operators import rescale_keyed_dict_state
+        from repro.runtime.partition import hash_key
+        left = rescale_keyed_dict_state(
+            [state["left"] for state in states if state],
+            subtask_index, parallelism)
+        right = [value
+                 for state in states if state
+                 for value in state["right"]
+                 if hash_key(self._right_key(value)) % parallelism
+                 == subtask_index]
+        return {"left": left, "right": right}
+
+
+class CountOperator(Operator):
+    """Counts its bounded input; emits one integer at the end."""
+
+    def __init__(self, name: str = "count") -> None:
+        super().__init__()
+        self.name = name
+        self._count = 0
+
+    def process(self, record: Record) -> None:
+        self._count += 1
+
+    def finish(self) -> None:
+        self.ctx.emit(self._count)
+        self._count = 0
+
+    def snapshot_state(self) -> Any:
+        return self._count
+
+    def restore_state(self, state: Any) -> None:
+        self._count = state
+
+
+class FoldAllOperator(Operator):
+    """Folds the whole bounded input into one value (batch global aggregate)."""
+
+    def __init__(self, initial: Any, fold_fn: Callable[[Any, Any], Any],
+                 name: str = "fold-all") -> None:
+        super().__init__()
+        self.name = name
+        self._initial = initial
+        self._fold_fn = fold_fn
+        self._acc = initial
+        self._saw_any = False
+
+    def process(self, record: Record) -> None:
+        self._acc = self._fold_fn(self._acc, record.value)
+        self._saw_any = True
+
+    def finish(self) -> None:
+        self.ctx.emit(self._acc)
+        self._acc = self._initial
+        self._saw_any = False
+
+    def snapshot_state(self) -> Any:
+        return {"acc": self._acc, "saw_any": self._saw_any}
+
+    def restore_state(self, state: Any) -> None:
+        self._acc = state["acc"]
+        self._saw_any = state["saw_any"]

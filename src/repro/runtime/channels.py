@@ -1,0 +1,83 @@
+"""In-memory channels: the physical links between subtasks.
+
+A channel is a FIFO of :class:`~repro.runtime.elements.StreamElement`
+with a *soft* capacity.  The scheduler refuses to run a task whose output
+channels are at or over capacity, which models credit-based flow control
+(backpressure) without the deadlock hazards of hard-blocking mid-element:
+a task may overshoot capacity by the fan-out of a single input element,
+then is paused until downstream drains.
+
+Channels also implement the *blocking* needed for aligned checkpoint
+barriers: once a barrier for checkpoint *n* arrives on a channel, the
+receiving task blocks that channel until barriers arrived on all of its
+inputs, preserving the exactly-once cut of asynchronous barrier
+snapshotting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.runtime.elements import StreamElement
+
+
+class Channel:
+    """A FIFO between one upstream and one downstream subtask."""
+
+    __slots__ = ("name", "capacity", "_queue", "pushed", "polled",
+                 "blocked", "finished")
+
+    def __init__(self, name: str, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("channel capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._queue: Deque[StreamElement] = deque()
+        self.pushed = 0          # lifetime counters, reported as metrics
+        self.polled = 0
+        self.blocked = False     # barrier alignment: reads suspended
+        self.finished = False    # EndOfStream consumed
+
+    def push(self, element: StreamElement) -> None:
+        self._queue.append(element)
+        self.pushed += 1
+
+    def poll(self) -> Optional[StreamElement]:
+        """Dequeue the next element, or ``None`` when empty/blocked."""
+        if self.blocked or not self._queue:
+            return None
+        self.polled += 1
+        return self._queue.popleft()
+
+    def peek(self) -> Optional[StreamElement]:
+        if self.blocked or not self._queue:
+            return None
+        return self._queue[0]
+
+    @property
+    def size(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    @property
+    def has_capacity(self) -> bool:
+        return len(self._queue) < self.capacity
+
+    @property
+    def readable(self) -> bool:
+        return bool(self._queue) and not self.blocked and not self.finished
+
+    def clear(self) -> None:
+        """Drop all buffered elements (used on failure/restore)."""
+        self._queue.clear()
+        self.blocked = False
+        self.finished = False
+
+    def __repr__(self) -> str:
+        state = "blocked" if self.blocked else ("finished" if self.finished
+                                                else "open")
+        return "Channel(%s, size=%d, %s)" % (self.name, len(self._queue), state)

@@ -1,0 +1,156 @@
+"""Stream elements: the unified vocabulary flowing through every channel.
+
+Following the Flink execution model that STREAMLINE builds on, a channel
+carries an interleaved sequence of four element kinds:
+
+* :class:`Record` -- a data tuple with an optional event timestamp,
+* :class:`Watermark` -- an assertion that no record with a smaller event
+  timestamp will arrive on this channel,
+* :class:`CheckpointBarrier` -- separates the records belonging to
+  consecutive checkpoints (asynchronous barrier snapshotting),
+* :class:`EndOfStream` -- the channel is exhausted; this is how *data at
+  rest* (bounded inputs) and *data in motion* (unbounded inputs) unify:
+  a batch job is a stream whose sources eventually emit ``EndOfStream``.
+
+Timestamps are integers in milliseconds, mirroring Flink.  ``MAX_TIMESTAMP``
+acts as the +infinity watermark that flushes all event-time state at the
+end of a bounded input.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+MIN_TIMESTAMP = -(2**62)
+MAX_TIMESTAMP = 2**62
+
+
+class StreamElement:
+    """Base class for everything that travels through a channel."""
+
+    __slots__ = ()
+
+    @property
+    def is_record(self) -> bool:
+        return False
+
+    @property
+    def is_watermark(self) -> bool:
+        return False
+
+    @property
+    def is_barrier(self) -> bool:
+        return False
+
+    @property
+    def is_end(self) -> bool:
+        return False
+
+
+class Record(StreamElement):
+    """A data element, optionally stamped with an event timestamp.
+
+    ``key`` is a routing artefact: it is filled in by keyed partitioning
+    so downstream operators can scope state without re-invoking the key
+    selector.
+    """
+
+    __slots__ = ("value", "timestamp", "key")
+
+    def __init__(self, value: Any, timestamp: Optional[int] = None,
+                 key: Any = None) -> None:
+        self.value = value
+        self.timestamp = timestamp
+        self.key = key
+
+    @property
+    def is_record(self) -> bool:
+        return True
+
+    def with_value(self, value: Any) -> "Record":
+        """A copy carrying ``value`` but the same timestamp and key."""
+        return Record(value, self.timestamp, self.key)
+
+    def __repr__(self) -> str:
+        return "Record(%r, ts=%r, key=%r)" % (self.value, self.timestamp, self.key)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Record)
+                and self.value == other.value
+                and self.timestamp == other.timestamp
+                and self.key == other.key)
+
+    def __hash__(self) -> int:
+        return hash((self.value if not isinstance(self.value, (list, dict))
+                     else id(self.value), self.timestamp))
+
+
+class Watermark(StreamElement):
+    """Progress marker: no later record on this channel has ``timestamp``
+    smaller than this watermark's."""
+
+    __slots__ = ("timestamp",)
+
+    def __init__(self, timestamp: int) -> None:
+        self.timestamp = timestamp
+
+    @property
+    def is_watermark(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        if self.timestamp >= MAX_TIMESTAMP:
+            return "Watermark(MAX)"
+        return "Watermark(%d)" % self.timestamp
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Watermark) and self.timestamp == other.timestamp
+
+    def __hash__(self) -> int:
+        return hash(("wm", self.timestamp))
+
+
+class CheckpointBarrier(StreamElement):
+    """Separates pre- and post-checkpoint records (Chandy-Lamport style)."""
+
+    __slots__ = ("checkpoint_id",)
+
+    def __init__(self, checkpoint_id: int) -> None:
+        self.checkpoint_id = checkpoint_id
+
+    @property
+    def is_barrier(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "CheckpointBarrier(%d)" % self.checkpoint_id
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, CheckpointBarrier)
+                and self.checkpoint_id == other.checkpoint_id)
+
+    def __hash__(self) -> int:
+        return hash(("barrier", self.checkpoint_id))
+
+
+class EndOfStream(StreamElement):
+    """The bounded-input sentinel; unifies batch with streaming."""
+
+    __slots__ = ()
+
+    @property
+    def is_end(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "EndOfStream()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, EndOfStream)
+
+    def __hash__(self) -> int:
+        return hash("eos")
+
+
+END_OF_STREAM = EndOfStream()
+MAX_WATERMARK = Watermark(MAX_TIMESTAMP)

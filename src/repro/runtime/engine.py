@@ -1,0 +1,417 @@
+"""The engine: expands a JobGraph into parallel subtasks and runs them.
+
+Execution is a deterministic cooperative loop:
+
+1. every runnable task gets one bounded ``step()`` per round (a task is
+   runnable when it has input and its output channels are below
+   capacity -- that inequality *is* the backpressure model);
+2. the simulated processing-time clock advances per round and due
+   processing-time timers fire;
+3. if checkpointing is enabled, the coordinator periodically injects
+   barriers at the sources, collects per-task snapshots as barriers
+   align across the graph, and seals completed checkpoints;
+4. an optional failure hook can kill the job mid-flight, after which
+   :meth:`Engine.recover` restores every subtask from the latest
+   completed checkpoint and rewinds the replayable sources -- the
+   exactly-once recovery path of asynchronous barrier snapshotting.
+
+The loop is single-threaded on purpose: reproducibility of every
+experiment in ``benchmarks/`` depends on it, and the logical costs the
+papers compare (records, aggregate calls, tuples transferred) are
+unaffected by physical parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+from repro.metrics import MetricGroup, merge_counter_maps
+from repro.runtime.channels import Channel
+from repro.runtime.elements import MAX_TIMESTAMP
+from repro.runtime.partition import ForwardPartitioner
+from repro.runtime.task import OutputEdge, Task
+from repro.state.checkpoint import (
+    CheckpointStore,
+    PendingCheckpoint,
+    TaskSnapshot,
+)
+from repro.time.clock import ManualClock
+
+if TYPE_CHECKING:  # imported lazily to avoid a plan <-> runtime cycle
+    from repro.plan.graph import JobGraph
+
+
+class EngineConfig:
+    """Tunables of the execution loop."""
+
+    def __init__(self,
+                 channel_capacity: int = 128,
+                 elements_per_step: int = 32,
+                 tick_ms: int = 1,
+                 checkpoint_interval_ms: Optional[int] = None,
+                 max_retained_checkpoints: int = 3,
+                 max_rounds: int = 50_000_000,
+                 failure_hook: Optional[Callable[["Engine", int], bool]] = None,
+                 cancel_hook: Optional[Callable[["Engine", int], bool]] = None
+                 ) -> None:
+        if channel_capacity < 1:
+            raise ValueError("channel_capacity must be >= 1")
+        if elements_per_step < 1:
+            raise ValueError("elements_per_step must be >= 1")
+        if tick_ms < 0:
+            raise ValueError("tick_ms must be >= 0")
+        if checkpoint_interval_ms is not None and checkpoint_interval_ms <= 0:
+            raise ValueError("checkpoint_interval_ms must be positive")
+        self.channel_capacity = channel_capacity
+        self.elements_per_step = elements_per_step
+        self.tick_ms = tick_ms
+        self.checkpoint_interval_ms = checkpoint_interval_ms
+        self.max_retained_checkpoints = max_retained_checkpoints
+        self.max_rounds = max_rounds
+        self.failure_hook = failure_hook
+        self.cancel_hook = cancel_hook
+
+
+class JobFailedError(Exception):
+    """Raised by the failure hook (or by operator exceptions) during
+    execution when no recovery is possible."""
+
+
+class JobStalledError(Exception):
+    """The scheduler made no progress but tasks remain unfinished -- a
+    wiring bug or a backpressure deadlock."""
+
+
+class InjectedFailure(Exception):
+    """The failure hook asked for a crash (used by the E10 experiment)."""
+
+
+class JobResult:
+    """Post-execution statistics."""
+
+    def __init__(self, rounds: int, simulated_time_ms: int,
+                 counters: Dict[str, int],
+                 checkpoints_completed: int,
+                 checkpoint_durations_ms: List[int],
+                 recoveries: int,
+                 cancelled: bool = False) -> None:
+        self.rounds = rounds
+        self.simulated_time_ms = simulated_time_ms
+        self.counters = counters
+        self.checkpoints_completed = checkpoints_completed
+        self.checkpoint_durations_ms = checkpoint_durations_ms
+        self.recoveries = recoveries
+        self.cancelled = cancelled
+
+    @property
+    def records_emitted(self) -> int:
+        return sum(value for name, value in self.counters.items()
+                   if name.endswith("records_out"))
+
+    def __repr__(self) -> str:
+        return ("JobResult(rounds=%d, sim_ms=%d, checkpoints=%d, recoveries=%d)"
+                % (self.rounds, self.simulated_time_ms,
+                   self.checkpoints_completed, self.recoveries))
+
+
+class Engine:
+    """Executes one JobGraph to completion."""
+
+    def __init__(self, job_graph: "JobGraph",
+                 config: Optional[EngineConfig] = None) -> None:
+        self.job_graph = job_graph
+        self.config = config or EngineConfig()
+        self.clock = ManualClock()
+        self.tasks: List[Task] = []
+        self._tasks_by_vertex: Dict[int, List[Task]] = {}
+        self.checkpoint_store = CheckpointStore(
+            self.config.max_retained_checkpoints)
+        self._pending_checkpoint: Optional[PendingCheckpoint] = None
+        self._next_checkpoint_id = 1
+        self._next_checkpoint_time: Optional[int] = (
+            self.config.checkpoint_interval_ms)
+        self._checkpoint_durations: List[int] = []
+        self._checkpoints_completed = 0
+        self.recoveries = 0
+        self._build()
+
+    # -- construction -----------------------------------------------------
+
+    def _build(self) -> None:
+        cfg = self.config
+        for vertex_id, vertex in sorted(self.job_graph.vertices.items()):
+            subtasks = []
+            for index in range(vertex.parallelism):
+                operators = [factory() for factory in vertex.operator_factories]
+                metrics = MetricGroup("%s.%d" % (vertex.name, index))
+                task = Task(vertex.name, vertex_id, index, vertex.parallelism,
+                            operators, self.clock, metrics,
+                            elements_per_step=cfg.elements_per_step)
+                task.checkpoint_ack = self._acknowledge_checkpoint
+                subtasks.append(task)
+            self._tasks_by_vertex[vertex_id] = subtasks
+            self.tasks.extend(subtasks)
+
+        for edge in self.job_graph.edges:
+            upstream = self._tasks_by_vertex[edge.source_vertex]
+            downstream = self._tasks_by_vertex[edge.target_vertex]
+            target_input = edge.target_input
+            if (isinstance(edge.partitioner, ForwardPartitioner)
+                    and len(upstream) != len(downstream)):
+                raise ValueError(
+                    "forward edge %r requires equal parallelism (%d vs %d)"
+                    % (edge, len(upstream), len(downstream)))
+            for up in upstream:
+                channels = []
+                for down in downstream:
+                    channel = Channel(
+                        "%s#%d->%s#%d" % (up.vertex_name, up.subtask_index,
+                                          down.vertex_name,
+                                          down.subtask_index),
+                        capacity=cfg.channel_capacity)
+                    down.add_input(channel, target_input)
+                    channels.append(channel)
+                up.add_output_edge(OutputEdge(edge.partitioner, channels,
+                                              up.subtask_index))
+
+        for task in self.tasks:
+            task.open()
+
+    # -- checkpoint coordination -------------------------------------------
+
+    def _maybe_trigger_checkpoint(self) -> None:
+        interval = self.config.checkpoint_interval_ms
+        if interval is None or self._pending_checkpoint is not None:
+            return
+        if self._next_checkpoint_time is None:
+            self._next_checkpoint_time = self.clock.now() + interval
+        if self.clock.now() < self._next_checkpoint_time:
+            return
+        running = [t for t in self.tasks if not t.finished]
+        if not running or any(t.finished for t in self.tasks if t.is_source):
+            # A draining job cannot complete a full barrier cut.
+            return
+        checkpoint_id = self._next_checkpoint_id
+        self._next_checkpoint_id += 1
+        expected = {t.subtask_id for t in self.tasks}
+        self._pending_checkpoint = PendingCheckpoint(
+            checkpoint_id, expected, trigger_time=self.clock.now())
+        for task in self.tasks:
+            if task.is_source:
+                task.pending_checkpoint = checkpoint_id
+        self._next_checkpoint_time = self.clock.now() + interval
+
+    def _acknowledge_checkpoint(self, checkpoint_id: int,
+                                snapshot: TaskSnapshot) -> None:
+        pending = self._pending_checkpoint
+        if pending is None or pending.checkpoint_id != checkpoint_id:
+            return  # ack of an aborted checkpoint
+        pending.acknowledge(snapshot)
+        if pending.is_complete:
+            completed = pending.seal(self.clock.now())
+            self.checkpoint_store.add(completed)
+            self._checkpoint_durations.append(completed.duration_ms)
+            self._checkpoints_completed += 1
+            self._pending_checkpoint = None
+
+    # -- recovery -----------------------------------------------------------
+
+    def recover(self) -> None:
+        """Restore every subtask from the latest completed checkpoint and
+        rewind sources; in-flight data is discarded (it will be replayed)."""
+        latest = self.checkpoint_store.latest
+        if latest is None:
+            raise JobFailedError("failure without any completed checkpoint")
+        self._pending_checkpoint = None
+        for task in self.tasks:
+            for channel, _ in task.inputs:
+                channel.clear()
+            task.reset_progress()
+            snapshot = latest.snapshot_for(task.subtask_id)
+            if snapshot is not None:
+                task.restore(snapshot)
+        self.recoveries += 1
+
+    # -- queryable state -----------------------------------------------------
+
+    def query_state(self, operator_name: str, state_name: str,
+                    key: Any, default: Any = None) -> Any:
+        """Read one key's value from an operator's keyed state -- the
+        queryable-state facility that lets a serving layer probe the live
+        view instead of waiting for sink output (the freshness story of
+        experiment E9)."""
+        from repro.runtime.partition import hash_key
+        for vertex_id, subtasks in self._tasks_by_vertex.items():
+            names = self._operator_names(vertex_id)
+            if operator_name not in names:
+                continue
+            position = names.index(operator_name)
+            subtask = subtasks[hash_key(key) % len(subtasks)]
+            table = subtask.chain[position].backend.table(state_name)
+            return table.get(key, default)
+        raise KeyError("no operator named %r (available: %r)"
+                       % (operator_name,
+                          sorted(name for vertex in
+                                 self.job_graph.vertices.values()
+                                 for name in vertex.names)))
+
+    # -- savepoints --------------------------------------------------------
+
+    def _operator_names(self, vertex_id: int) -> List[str]:
+        return self.job_graph.vertices[vertex_id].names
+
+    def create_savepoint(self) -> "Savepoint":
+        """Package the latest completed checkpoint as a savepoint that a
+        new execution of the same program (possibly at different
+        parallelism) can restore. State is keyed by operator *name*, so
+        the program must use unique operator names."""
+        from repro.state.savepoint import OperatorSnapshot, Savepoint
+        latest = self.checkpoint_store.latest
+        if latest is None:
+            raise JobFailedError(
+                "no completed checkpoint to derive a savepoint from")
+        all_names = [name for vertex in self.job_graph.vertices.values()
+                     for name in vertex.names]
+        duplicates = {name for name in all_names
+                      if all_names.count(name) > 1}
+        if duplicates:
+            raise JobFailedError(
+                "savepoints need unique operator names; duplicated: %r "
+                "(pass name=... to the fluent API)" % sorted(duplicates))
+        operators: Dict[str, List[OperatorSnapshot]] = {}
+        for vertex_id, subtasks in self._tasks_by_vertex.items():
+            names = self._operator_names(vertex_id)
+            for task in subtasks:
+                snapshot = latest.snapshot_for(task.subtask_id)
+                if snapshot is None:
+                    raise JobFailedError(
+                        "checkpoint %d lacks a snapshot for %r"
+                        % (latest.checkpoint_id, task.subtask_id))
+                for position, name in enumerate(names):
+                    key = str(position)
+                    operators.setdefault(name, []).append(OperatorSnapshot(
+                        task.subtask_index,
+                        snapshot.keyed_state.get(key, {}),
+                        snapshot.operator_state.get(key),
+                        snapshot.timers.get(key, {})))
+        return Savepoint(operators, latest.checkpoint_id)
+
+    def restore_from_savepoint(self, savepoint: "Savepoint") -> None:
+        """Initialise this (fresh) engine's state from a savepoint taken
+        by a previous run of the same program.
+
+        Operators are matched by name, so chaining changes caused by a
+        different parallelism are harmless. Source operators must keep
+        their parallelism (replay ownership is positional); stateful
+        processing operators may rescale -- keyed state, timers and
+        keyed operator state are redistributed by the engine's key hash.
+        """
+        from repro.runtime.operators import SourceOperator
+        from repro.state.savepoint import merge_keyed_state, merge_timers
+        for vertex_id, subtasks in self._tasks_by_vertex.items():
+            names = self._operator_names(vertex_id)
+            parallelism = len(subtasks)
+            for position, name in enumerate(names):
+                snapshots = savepoint.snapshots_for(name)
+                if snapshots is None:
+                    raise JobFailedError(
+                        "savepoint has no state for operator %r "
+                        "(available: %r)" % (name,
+                                             savepoint.operator_names()))
+                operator = subtasks[0].chain[position].operator
+                is_source = isinstance(operator, SourceOperator)
+                if is_source and getattr(operator, "rescalable_source",
+                                         False):
+                    is_source = False  # partition-owning sources rescale
+                if is_source:
+                    if len(snapshots) != parallelism:
+                        raise JobFailedError(
+                            "source operator %r cannot rescale (%d -> %d)"
+                            % (name, len(snapshots), parallelism))
+                    for task, snapshot in zip(subtasks, snapshots):
+                        chained = task.chain[position]
+                        chained.backend.restore(snapshot.keyed_state)
+                        chained.timers.restore(snapshot.timers)
+                        if snapshot.operator_state is not None:
+                            chained.operator.restore_state(
+                                snapshot.operator_state)
+                    continue
+                for task in subtasks:
+                    chained = task.chain[position]
+                    chained.backend.restore(merge_keyed_state(
+                        snapshots, task.subtask_index, parallelism))
+                    chained.timers.restore(merge_timers(
+                        snapshots, task.subtask_index, parallelism))
+                    rescaled = chained.operator.rescale_operator_state(
+                        [snap.operator_state for snap in snapshots],
+                        task.subtask_index, parallelism)
+                    if rescaled is not None:
+                        chained.operator.restore_state(rescaled)
+
+    # -- the loop -----------------------------------------------------------
+
+    def execute(self) -> JobResult:
+        cfg = self.config
+        rounds = 0
+        stall_rounds = 0
+        cancelled = False
+        while not all(task.finished for task in self.tasks):
+            if rounds >= cfg.max_rounds:
+                raise JobStalledError(
+                    "exceeded max_rounds=%d; unfinished: %r"
+                    % (cfg.max_rounds,
+                       [t for t in self.tasks if not t.finished]))
+            if cfg.cancel_hook is not None and cfg.cancel_hook(self, rounds):
+                cancelled = True
+                break
+            if cfg.failure_hook is not None and cfg.failure_hook(self, rounds):
+                self.recover()
+
+            progressed = False
+            for task in self.tasks:
+                if task.is_runnable:
+                    try:
+                        if task.step():
+                            progressed = True
+                    except InjectedFailure:
+                        self.recover()
+                        progressed = True
+                        break
+
+            self.clock.advance(cfg.tick_ms)
+            now = self.clock.now()
+            for task in self.tasks:
+                task.on_processing_time(now)
+            self._maybe_trigger_checkpoint()
+            rounds += 1
+
+            if progressed:
+                stall_rounds = 0
+                continue
+            # No record progress: jump the clock to the next processing
+            # timer if one exists, otherwise count towards a stall.
+            next_timer = min(
+                (chained.timers.processing_time.peek_timestamp()
+                 for task in self.tasks if not task.finished
+                 for chained in task.chain),
+                default=MAX_TIMESTAMP)
+            if next_timer < MAX_TIMESTAMP and next_timer > now:
+                self.clock.set(next_timer)
+                for task in self.tasks:
+                    task.on_processing_time(next_timer)
+                stall_rounds = 0
+                continue
+            stall_rounds += 1
+            if stall_rounds > 1000:
+                raise JobStalledError(
+                    "no progress for %d rounds; unfinished: %r"
+                    % (stall_rounds,
+                       [t for t in self.tasks if not t.finished]))
+
+        counters = merge_counter_maps(
+            task.metrics.counters() for task in self.tasks)
+        return JobResult(rounds, self.clock.now(), counters,
+                         checkpoints_completed=self._checkpoints_completed,
+                         checkpoint_durations_ms=list(self._checkpoint_durations),
+                         recoveries=self.recoveries,
+                         cancelled=cancelled)

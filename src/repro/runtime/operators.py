@@ -1,0 +1,570 @@
+"""The operator model: what user logic looks like to the runtime.
+
+An :class:`Operator` is one link in a task's chain.  The task drives it
+through a narrow protocol -- ``open``, ``process`` (per record),
+``on_watermark``, timer callbacks, ``finish`` (bounded input exhausted),
+``snapshot_state``/``restore_state`` (checkpoints), ``close`` -- and hands
+it an :class:`OperatorContext` for emitting records, reaching keyed
+state, registering timers and reading the clock.
+
+Because *data at rest* is just a stream that ends, the batch operators in
+:mod:`repro.runtime.batch` implement the very same protocol: they buffer
+in ``process`` and emit in ``finish``.  That is the uniform model the
+STREAMLINE paper describes, reduced to its essence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable, List, Optional
+
+from repro.metrics import MetricGroup
+from repro.runtime.elements import Record
+from repro.state.backend import KeyedStateBackend
+from repro.state.descriptors import StateDescriptor
+from repro.time.clock import Clock
+from repro.time.timers import TimerService
+
+
+class OperatorContext:
+    """Everything an operator may touch at runtime.
+
+    One context exists per operator instance (i.e. per chain position per
+    subtask).  The owning task updates ``current_timestamp`` and the
+    backend's current key before every callback.
+    """
+
+    def __init__(self, subtask_index: int, parallelism: int,
+                 backend: KeyedStateBackend, timers: TimerService,
+                 metrics: MetricGroup, clock: Clock,
+                 collector: Callable[[Record], None]) -> None:
+        self.subtask_index = subtask_index
+        self.parallelism = parallelism
+        self.backend = backend
+        self.timers = timers
+        self.metrics = metrics
+        self.clock = clock
+        self._collector = collector
+        self.current_timestamp: Optional[int] = None
+
+    # -- output ---------------------------------------------------------
+    def emit(self, value: Any, timestamp: Optional[int] = None) -> None:
+        """Emit ``value`` downstream, inheriting the current element's
+        timestamp and key unless an explicit timestamp is given."""
+        ts = timestamp if timestamp is not None else self.current_timestamp
+        self._collector(Record(value, ts, self.backend.current_key))
+
+    def emit_record(self, record: Record) -> None:
+        self._collector(record)
+
+    # -- state ----------------------------------------------------------
+    @property
+    def current_key(self) -> Any:
+        return self.backend.current_key
+
+    def get_state(self, descriptor: StateDescriptor):
+        return self.backend.get_state(descriptor)
+
+    # -- time -----------------------------------------------------------
+    def processing_time(self) -> int:
+        return self.clock.now()
+
+    def register_event_time_timer(self, timestamp: int,
+                                  namespace: Hashable = None) -> None:
+        self.timers.register_event_time_timer(
+            timestamp, self.backend.current_key, namespace)
+
+    def register_processing_time_timer(self, timestamp: int,
+                                       namespace: Hashable = None) -> None:
+        self.timers.register_processing_time_timer(
+            timestamp, self.backend.current_key, namespace)
+
+    def delete_event_time_timer(self, timestamp: int,
+                                namespace: Hashable = None) -> None:
+        self.timers.delete_event_time_timer(
+            timestamp, self.backend.current_key, namespace)
+
+
+class Operator:
+    """Base class for every chained operator."""
+
+    name = "operator"
+
+    def __init__(self) -> None:
+        self.ctx: Optional[OperatorContext] = None
+
+    def open(self, ctx: OperatorContext) -> None:
+        self.ctx = ctx
+
+    def process(self, record: Record) -> None:
+        """Handle one input record (input 0 for two-input operators)."""
+        raise NotImplementedError
+
+    def process2(self, record: Record) -> None:
+        """Handle one record on the second input (two-input operators)."""
+        raise NotImplementedError(
+            "%s is not a two-input operator" % type(self).__name__)
+
+    def on_watermark(self, timestamp: int) -> None:
+        """Observe watermark advancement; due event-time timers have
+        already fired.  The task forwards the watermark afterwards."""
+
+    def on_event_timer(self, timestamp: int, key: Any,
+                       namespace: Hashable) -> None:
+        pass
+
+    def on_processing_timer(self, timestamp: int, key: Any,
+                            namespace: Hashable) -> None:
+        pass
+
+    def finish(self) -> None:
+        """All inputs reached end-of-stream; flush any buffered results."""
+
+    def snapshot_state(self) -> Any:
+        """Operator (non-keyed) state for checkpoints; keyed state is
+        snapshotted by the task via the backend."""
+        return None
+
+    def restore_state(self, state: Any) -> None:
+        pass
+
+    def rescale_operator_state(self, states: "List[Any]",
+                               subtask_index: int,
+                               parallelism: int) -> Any:
+        """Combine the operator states of the *old* subtasks into this
+        new subtask's state when restoring a savepoint at different
+        parallelism.
+
+        The default accepts trivially-rescalable states only: all
+        ``None``, or all equal (replicated configuration-style state).
+        Operators holding per-record-key dictionaries override this to
+        merge and filter by the engine's key hash.
+        """
+        non_null = [state for state in states if state is not None]
+        if not non_null:
+            return None
+        first = non_null[0]
+        if all(state == first for state in non_null[1:]):
+            import copy
+            return copy.deepcopy(first)
+        raise NotImplementedError(
+            "%s state cannot be rescaled (%d differing subtask states); "
+            "override rescale_operator_state" % (type(self).__name__,
+                                                 len(non_null)))
+
+    def close(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "%s(%s)" % (type(self).__name__, self.name)
+
+
+def rescale_keyed_dict_state(states: "List[Any]", subtask_index: int,
+                             parallelism: int) -> dict:
+    """Shared override body for operators whose non-keyed state is a
+    ``{record_key: state}`` dict: union the dicts, keep this subtask's
+    keys (engine hash routing)."""
+    from repro.runtime.partition import hash_key
+    import copy
+    merged = {}
+    for state in states:
+        if not state:
+            continue
+        for key, value in state.items():
+            if hash_key(key) % parallelism == subtask_index:
+                merged[key] = copy.deepcopy(value)
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Sources
+# ---------------------------------------------------------------------------
+
+class SourceContext:
+    """Restricted emission surface handed to source functions."""
+
+    def __init__(self, operator_ctx: OperatorContext) -> None:
+        self._ctx = operator_ctx
+
+    def collect(self, value: Any) -> None:
+        self._ctx.emit_record(Record(value, None))
+
+    def collect_with_timestamp(self, value: Any, timestamp: int) -> None:
+        self._ctx.emit_record(Record(value, timestamp))
+
+    def processing_time(self) -> int:
+        return self._ctx.processing_time()
+
+
+class SourceOperator(Operator):
+    """A pull-driven source: the task calls :meth:`emit_batch` each step.
+
+    Sources are *replayable* for exactly-once recovery: they snapshot a
+    position and can rewind to it.  ``rescalable_source`` marks sources
+    whose replay ownership redistributes cleanly (partition-based
+    sources); positional sources must keep their parallelism across
+    savepoints.
+    """
+
+    name = "source"
+    rescalable_source = False
+
+    def emit_batch(self, source_ctx: SourceContext, max_records: int) -> bool:
+        """Emit up to ``max_records``; return False when exhausted."""
+        raise NotImplementedError
+
+    def process(self, record: Record) -> None:
+        raise RuntimeError("sources have no inputs")
+
+
+class IteratorSource(SourceOperator):
+    """Wraps a factory of (re-creatable) iterables into a replayable source.
+
+    Values may be plain objects or ``(value, timestamp)`` pairs when
+    ``timestamped=True``.  Each subtask receives the slice of elements
+    with ``index % parallelism == subtask_index`` so that a single
+    logical collection is split across parallel source instances
+    deterministically.
+    """
+
+    def __init__(self, iterable_factory: Callable[[], Iterable[Any]],
+                 timestamped: bool = False, name: str = "iterator-source") -> None:
+        super().__init__()
+        self.name = name
+        self._factory = iterable_factory
+        self._timestamped = timestamped
+        self._iterator: Optional[Any] = None
+        self._offset = 0          # elements of *this subtask* already emitted
+        self._global_index = 0    # position in the underlying iterable
+
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        self._rewind(self._offset)
+
+    def _rewind(self, offset: int) -> None:
+        """Recreate the iterator and skip this subtask's first ``offset``
+        elements (exactly-once replay after recovery)."""
+        self._iterator = iter(self._factory())
+        self._offset = 0
+        self._global_index = 0
+        skipped = 0
+        while skipped < offset:
+            item = self._next_owned()
+            if item is _EXHAUSTED:
+                break
+            skipped += 1
+        self._offset = skipped
+
+    def _next_owned(self) -> Any:
+        """Next element owned by this subtask, or ``_EXHAUSTED``."""
+        assert self.ctx is not None
+        while True:
+            try:
+                value = next(self._iterator)
+            except StopIteration:
+                return _EXHAUSTED
+            index = self._global_index
+            self._global_index += 1
+            if index % self.ctx.parallelism == self.ctx.subtask_index:
+                return value
+
+    def emit_batch(self, source_ctx: SourceContext, max_records: int) -> bool:
+        for _ in range(max_records):
+            item = self._next_owned()
+            if item is _EXHAUSTED:
+                return False
+            self._offset += 1
+            if self._timestamped:
+                value, timestamp = item
+                source_ctx.collect_with_timestamp(value, timestamp)
+            else:
+                source_ctx.collect(item)
+        return True
+
+    def snapshot_state(self) -> Any:
+        return {"offset": self._offset}
+
+    def restore_state(self, state: Any) -> None:
+        self._rewind(state["offset"])
+
+
+_EXHAUSTED = object()
+
+
+# ---------------------------------------------------------------------------
+# Stateless transformations
+# ---------------------------------------------------------------------------
+
+class MapOperator(Operator):
+    def __init__(self, fn: Callable[[Any], Any], name: str = "map") -> None:
+        super().__init__()
+        self.name = name
+        self._fn = fn
+
+    def process(self, record: Record) -> None:
+        self.ctx.emit_record(record.with_value(self._fn(record.value)))
+
+
+class FlatMapOperator(Operator):
+    def __init__(self, fn: Callable[[Any], Iterable[Any]],
+                 name: str = "flat-map") -> None:
+        super().__init__()
+        self.name = name
+        self._fn = fn
+
+    def process(self, record: Record) -> None:
+        for value in self._fn(record.value):
+            self.ctx.emit_record(record.with_value(value))
+
+
+class FilterOperator(Operator):
+    def __init__(self, predicate: Callable[[Any], bool],
+                 name: str = "filter") -> None:
+        super().__init__()
+        self.name = name
+        self._predicate = predicate
+
+    def process(self, record: Record) -> None:
+        if self._predicate(record.value):
+            self.ctx.emit_record(record)
+
+
+# ---------------------------------------------------------------------------
+# Keyed / stateful transformations
+# ---------------------------------------------------------------------------
+
+class KeyedReduceOperator(Operator):
+    """Rolling reduce per key: emits the updated aggregate for every input
+    record (streaming semantics)."""
+
+    def __init__(self, reduce_fn: Callable[[Any, Any], Any],
+                 name: str = "reduce") -> None:
+        super().__init__()
+        self.name = name
+        self._reduce_fn = reduce_fn
+
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        from repro.state.descriptors import ReducingStateDescriptor
+        self._state = ctx.get_state(
+            ReducingStateDescriptor("rolling-reduce", self._reduce_fn))
+
+    def process(self, record: Record) -> None:
+        self._state.add(record.value)
+        self.ctx.emit_record(record.with_value(self._state.get()))
+
+
+class KeyedFoldOperator(Operator):
+    """Rolling fold per key from an initial value; emits ``(key, acc)``
+    after every input record."""
+
+    def __init__(self, initial: Any, fold_fn: Callable[[Any, Any], Any],
+                 name: str = "fold") -> None:
+        super().__init__()
+        self.name = name
+        self._initial = initial
+        self._fold_fn = fold_fn
+
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        from repro.state.descriptors import ValueStateDescriptor
+        self._state = ctx.get_state(
+            ValueStateDescriptor("rolling-fold", default=None))
+
+    def process(self, record: Record) -> None:
+        current = self._state.value()
+        if current is None:
+            current = self._initial
+        updated = self._fold_fn(current, record.value)
+        self._state.update(updated)
+        self.ctx.emit_record(record.with_value((record.key, updated)))
+
+
+class ProcessFunction:
+    """User-facing low-level function with state and timer access."""
+
+    def open(self, ctx: OperatorContext) -> None:
+        pass
+
+    def process_element(self, value: Any, ctx: OperatorContext) -> None:
+        raise NotImplementedError
+
+    def on_timer(self, timestamp: int, ctx: OperatorContext) -> None:
+        pass
+
+    def finish(self, ctx: OperatorContext) -> None:
+        pass
+
+
+class KeyedProcessOperator(Operator):
+    """Runs a :class:`ProcessFunction` with full state/timer access.
+
+    The user's function object is deep-copied per operator instance,
+    mirroring Flink's serialize-and-ship semantics: each parallel subtask
+    gets its own copy, so instance attributes (e.g. state handles bound in
+    ``open``) never leak across subtasks.
+    """
+
+    def __init__(self, fn: ProcessFunction, name: str = "process") -> None:
+        super().__init__()
+        import copy
+        self.name = name
+        self._fn = copy.deepcopy(fn)
+
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        self._fn.open(ctx)
+
+    def process(self, record: Record) -> None:
+        self._fn.process_element(record.value, self.ctx)
+
+    def on_event_timer(self, timestamp: int, key: Any,
+                       namespace: Hashable) -> None:
+        self._fn.on_timer(timestamp, self.ctx)
+
+    def on_processing_timer(self, timestamp: int, key: Any,
+                            namespace: Hashable) -> None:
+        self._fn.on_timer(timestamp, self.ctx)
+
+    def finish(self) -> None:
+        self._fn.finish(self.ctx)
+
+
+class CoProcessOperator(Operator):
+    """Two-input operator: distinct handlers per input, shared keyed state.
+
+    The building block for stream-stream joins and for
+    connect/broadcast patterns (e.g. model updates joined with events in
+    the recommendation example).
+    """
+
+    def __init__(self, fn1: Callable[[Any, OperatorContext], None],
+                 fn2: Callable[[Any, OperatorContext], None],
+                 name: str = "co-process",
+                 on_finish: Optional[Callable[[OperatorContext], None]] = None) -> None:
+        super().__init__()
+        self.name = name
+        self._fn1 = fn1
+        self._fn2 = fn2
+        self._on_finish = on_finish
+
+    def process(self, record: Record) -> None:
+        self._fn1(record.value, self.ctx)
+
+    def process2(self, record: Record) -> None:
+        self._fn2(record.value, self.ctx)
+
+    def finish(self) -> None:
+        if self._on_finish is not None:
+            self._on_finish(self.ctx)
+
+
+# ---------------------------------------------------------------------------
+# Timestamps and watermarks
+# ---------------------------------------------------------------------------
+
+class TimestampsAndWatermarksOperator(Operator):
+    """Assigns event timestamps and generates watermarks from the data.
+
+    Watermark emission is *record-driven* in the deterministic runtime:
+    the periodic generator is polled every ``poll_every`` records instead
+    of on a wall-clock interval, preserving semantics while staying
+    reproducible.
+    """
+
+    def __init__(self, strategy: "WatermarkStrategy",
+                 poll_every: int = 1,
+                 name: str = "timestamps/watermarks") -> None:
+        super().__init__()
+        if poll_every < 1:
+            raise ValueError("poll_every must be >= 1")
+        self.name = name
+        self._strategy = strategy
+        self._poll_every = poll_every
+        self._generator = None
+        self._since_poll = 0
+        self._last_emitted: Optional[int] = None
+        self.emit_watermark_fn: Optional[Callable[[int], None]] = None
+
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        self._generator = self._strategy.generator_factory()
+
+    def _maybe_emit(self, watermark_ts: Optional[int]) -> None:
+        if watermark_ts is None:
+            return
+        if self._last_emitted is not None and watermark_ts <= self._last_emitted:
+            return
+        self._last_emitted = watermark_ts
+        if self.emit_watermark_fn is not None:
+            self.emit_watermark_fn(watermark_ts)
+
+    def process(self, record: Record) -> None:
+        timestamp = self._strategy.timestamp_assigner(record.value)
+        self.ctx.emit_record(Record(record.value, timestamp, record.key))
+        self._maybe_emit(self._generator.on_event(record.value, timestamp))
+        self._since_poll += 1
+        if self._since_poll >= self._poll_every:
+            self._since_poll = 0
+            self._maybe_emit(self._generator.on_periodic())
+
+    def finish(self) -> None:
+        self._maybe_emit(self._generator.on_periodic())
+
+    def snapshot_state(self) -> Any:
+        return {"last_emitted": self._last_emitted}
+
+    def restore_state(self, state: Any) -> None:
+        self._last_emitted = state["last_emitted"]
+
+    def rescale_operator_state(self, states, subtask_index: int,
+                               parallelism: int) -> Any:
+        emitted = [state["last_emitted"] for state in states
+                   if state and state["last_emitted"] is not None]
+        # Conservative: restart watermarking from the lowest emitted
+        # value (duplicated watermarks are deduplicated downstream).
+        return {"last_emitted": min(emitted) if emitted else None}
+
+
+# ---------------------------------------------------------------------------
+# Sinks
+# ---------------------------------------------------------------------------
+
+class SinkOperator(Operator):
+    """Marker base class: terminal operators."""
+
+    name = "sink"
+
+
+class CollectSink(SinkOperator):
+    """Appends every value (or ``(value, timestamp)`` pair) to a shared
+    list the caller inspects after ``env.execute()``."""
+
+    def __init__(self, bucket: List[Any], with_timestamps: bool = False,
+                 name: str = "collect-sink") -> None:
+        super().__init__()
+        self.name = name
+        self._bucket = bucket
+        self._with_timestamps = with_timestamps
+
+    def process(self, record: Record) -> None:
+        if self._with_timestamps:
+            self._bucket.append((record.value, record.timestamp))
+        else:
+            self._bucket.append(record.value)
+
+
+class ForEachSink(SinkOperator):
+    """Invokes a callback per record; for side-effecting sinks."""
+
+    def __init__(self, fn: Callable[[Any], None],
+                 name: str = "foreach-sink") -> None:
+        super().__init__()
+        self.name = name
+        self._fn = fn
+
+    def process(self, record: Record) -> None:
+        self._fn(record.value)
+
+
+# Imported late to avoid a cycle: watermarks -> elements only.
+from repro.time.watermarks import WatermarkStrategy  # noqa: E402  (doc reference)

@@ -1,0 +1,131 @@
+"""Partitioners: how records are routed across the parallel subtasks of a
+downstream operator.
+
+An edge between an operator with parallelism *p* and one with parallelism
+*q* is realised as *p x q* channels; each upstream subtask asks its edge's
+partitioner which of its *q* outgoing channels a record goes to.  The
+repertoire matches the Flink model STREAMLINE sits on:
+
+* ``forward``   -- subtask i -> subtask i (requires p == q; enables chaining),
+* ``hash``      -- by key selector, the basis of keyed state,
+* ``rebalance`` -- round robin, for load balancing after skewed stages,
+* ``broadcast`` -- every record to every subtask,
+* ``global``    -- everything to subtask 0 (e.g. final ordered sinks).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.runtime.elements import Record
+
+KeySelector = Callable[[Any], Any]
+
+
+def hash_key(key: Any) -> int:
+    """Deterministic key hash.
+
+    ``hash()`` on strings is salted per interpreter run (PYTHONHASHSEED),
+    which would make job output placement non-reproducible, so strings
+    and bytes are hashed with a stable FNV-1a instead.
+    """
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    if isinstance(key, bytes):
+        value = 0xCBF29CE484222325
+        for byte in key:
+            value = ((value ^ byte) * 0x100000001B3) % (2**64)
+        return value
+    if isinstance(key, tuple):
+        value = 0x345678
+        for part in key:
+            value = (value * 1000003) ^ hash_key(part)
+            value %= 2**64
+        return value
+    return hash(key)
+
+
+class Partitioner:
+    """Chooses target channel indices for each record."""
+
+    name = "abstract"
+
+    def select(self, record: Record, num_channels: int,
+               subtask_index: int) -> Sequence[int]:
+        raise NotImplementedError
+
+    @property
+    def is_pointwise(self) -> bool:
+        """Pointwise partitioners connect subtask i only to subtask i and
+        therefore permit operator chaining."""
+        return False
+
+    def __repr__(self) -> str:
+        return "%s()" % type(self).__name__
+
+
+class ForwardPartitioner(Partitioner):
+    """Subtask ``i`` feeds only subtask ``i``; the chaining-eligible edge."""
+
+    name = "forward"
+
+    def select(self, record: Record, num_channels: int,
+               subtask_index: int) -> Sequence[int]:
+        return (subtask_index % num_channels,)
+
+    @property
+    def is_pointwise(self) -> bool:
+        return True
+
+
+class HashPartitioner(Partitioner):
+    """Routes by hashed key.
+
+    ``select`` is pure: the output edge runtime stamps the key onto a
+    *copy* of the record, because a record broadcast to several edges
+    must not be mutated in place.
+    """
+
+    name = "hash"
+
+    def __init__(self, key_selector: KeySelector) -> None:
+        self.key_selector = key_selector
+
+    def select(self, record: Record, num_channels: int,
+               subtask_index: int) -> Sequence[int]:
+        return (hash_key(self.key_selector(record.value)) % num_channels,)
+
+
+class RebalancePartitioner(Partitioner):
+    """Round-robin; stateful per upstream subtask."""
+
+    name = "rebalance"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, record: Record, num_channels: int,
+               subtask_index: int) -> Sequence[int]:
+        channel = self._next % num_channels
+        self._next += 1
+        return (channel,)
+
+
+class BroadcastPartitioner(Partitioner):
+    """Every record to every downstream subtask."""
+
+    name = "broadcast"
+
+    def select(self, record: Record, num_channels: int,
+               subtask_index: int) -> Sequence[int]:
+        return tuple(range(num_channels))
+
+
+class GlobalPartitioner(Partitioner):
+    """Everything to the first subtask; used for total ordering / single sinks."""
+
+    name = "global"
+
+    def select(self, record: Record, num_channels: int,
+               subtask_index: int) -> Sequence[int]:
+        return (0,)

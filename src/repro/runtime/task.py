@@ -1,0 +1,457 @@
+"""Subtasks: the unit of parallel execution.
+
+A :class:`Task` executes one *chain* of operators (one
+:class:`~repro.plan.graph.JobVertex` at one parallel index).  It is
+step-driven by the scheduler:
+
+* ``step()`` consumes a bounded number of elements from its input
+  channels (fair round-robin) or, for sources, emits a bounded burst;
+* records flow synchronously through the chain -- each operator's
+  collector dispatches straight into the next operator, and the chain
+  tail routes into output edges via their partitioners;
+* watermarks are tracked per input channel; when the minimum across all
+  live channels advances, due event-time timers fire for every chained
+  operator (in chain order) before the watermark is forwarded;
+* checkpoint barriers are *aligned*: a channel that delivered the barrier
+  for the in-flight checkpoint is blocked until all channels did, then
+  state is snapshotted, the coordinator is acknowledged, and the barrier
+  is broadcast downstream;
+* ``EndOfStream`` on all inputs triggers ``finish()`` down the chain --
+  this is where bounded (batch) operators emit -- followed by EOS
+  broadcast.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.metrics import MetricGroup
+from repro.runtime.channels import Channel
+from repro.runtime.elements import (
+    END_OF_STREAM,
+    MAX_TIMESTAMP,
+    MIN_TIMESTAMP,
+    CheckpointBarrier,
+    Record,
+    StreamElement,
+    Watermark,
+)
+from repro.runtime.operators import (
+    Operator,
+    OperatorContext,
+    SourceContext,
+    SourceOperator,
+    TimestampsAndWatermarksOperator,
+)
+from repro.runtime.partition import HashPartitioner, Partitioner
+from repro.state.backend import KeyedStateBackend
+from repro.state.checkpoint import TaskSnapshot
+from repro.time.clock import Clock
+from repro.time.timers import TimerService
+
+SubtaskId = Tuple[str, int]
+
+
+class OutputEdge:
+    """One outgoing job edge of a subtask: a partitioner plus the row of
+    channels leading to every downstream subtask."""
+
+    def __init__(self, partitioner: Partitioner, channels: List[Channel],
+                 subtask_index: int) -> None:
+        if not channels:
+            raise ValueError("an output edge needs at least one channel")
+        self.partitioner = partitioner
+        self.channels = channels
+        self.subtask_index = subtask_index
+
+    def emit_record(self, record: Record) -> None:
+        if isinstance(self.partitioner, HashPartitioner):
+            key = self.partitioner.key_selector(record.value)
+            stamped = Record(record.value, record.timestamp, key)
+            from repro.runtime.partition import hash_key
+            self.channels[hash_key(key) % len(self.channels)].push(stamped)
+            return
+        for index in self.partitioner.select(record, len(self.channels),
+                                             self.subtask_index):
+            self.channels[index].push(record)
+
+    def broadcast(self, element: StreamElement) -> None:
+        for channel in self.channels:
+            channel.push(element)
+
+    @property
+    def has_capacity(self) -> bool:
+        return all(channel.has_capacity for channel in self.channels)
+
+
+class _ChainedOperator:
+    """Per-chain-position runtime: the operator plus its private state
+    backend, timer service and context."""
+
+    def __init__(self, operator: Operator, backend: KeyedStateBackend,
+                 timers: TimerService, ctx: OperatorContext) -> None:
+        self.operator = operator
+        self.backend = backend
+        self.timers = timers
+        self.ctx = ctx
+
+
+class Task:
+    """One parallel subtask executing a chain of operators."""
+
+    def __init__(self, vertex_name: str, vertex_id: int, subtask_index: int,
+                 parallelism: int, operators: List[Operator],
+                 clock: Clock, metrics: MetricGroup,
+                 elements_per_step: int = 32) -> None:
+        if not operators:
+            raise ValueError("a task needs at least one operator")
+        self.vertex_name = vertex_name
+        self.vertex_id = vertex_id
+        self.subtask_index = subtask_index
+        self.parallelism = parallelism
+        self.clock = clock
+        self.metrics = metrics
+        self.elements_per_step = elements_per_step
+
+        self.inputs: List[Tuple[Channel, int]] = []   # (channel, input index)
+        self.output_edges: List[OutputEdge] = []
+
+        self._records_in = metrics.counter("records_in")
+        self._records_out = metrics.counter("records_out")
+        self._watermark_gauge = metrics.gauge("current_watermark")
+
+        self.finished = False
+        self.failed: Optional[BaseException] = None
+
+        # Watermark tracking.
+        self._channel_watermarks: Dict[int, int] = {}
+        self._combined_watermark = MIN_TIMESTAMP
+        self._emitted_watermark = MIN_TIMESTAMP
+
+        # Barrier alignment.
+        self._aligning_checkpoint: Optional[int] = None
+        self._aligned_channels: set = set()
+        self.pending_checkpoint: Optional[int] = None  # set by coordinator (sources)
+        self.checkpoint_ack: Optional[Callable[[int, TaskSnapshot], None]] = None
+
+        # Fair input polling.
+        self._next_input = 0
+
+        # Build the chain back to front so each collector targets the next.
+        self.chain: List[_ChainedOperator] = []
+        collector = self._route_to_outputs
+        for position in reversed(range(len(operators))):
+            operator = operators[position]
+            backend = KeyedStateBackend()
+            timers = TimerService()
+            ctx = OperatorContext(subtask_index, parallelism, backend, timers,
+                                  metrics, clock, collector)
+            chained = _ChainedOperator(operator, backend, timers, ctx)
+            self.chain.insert(0, chained)
+            if isinstance(operator, TimestampsAndWatermarksOperator):
+                operator.emit_watermark_fn = self._watermark_from_chain(position)
+            collector = self._make_dispatcher(chained)
+
+        self._is_source = isinstance(self.chain[0].operator, SourceOperator)
+        self._source_ctx = (SourceContext(self.chain[0].ctx)
+                            if self._is_source else None)
+        self._opened = False
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def subtask_id(self) -> SubtaskId:
+        return ("%d-%s" % (self.vertex_id, self.vertex_name), self.subtask_index)
+
+    @property
+    def is_source(self) -> bool:
+        return self._is_source
+
+    def __repr__(self) -> str:
+        return "Task(%s#%d)" % (self.vertex_name, self.subtask_index)
+
+    # -- wiring -----------------------------------------------------------
+
+    def add_input(self, channel: Channel, input_index: int) -> None:
+        self.inputs.append((channel, input_index))
+        self._channel_watermarks[len(self.inputs) - 1] = MIN_TIMESTAMP
+
+    def add_output_edge(self, edge: OutputEdge) -> None:
+        self.output_edges.append(edge)
+
+    def open(self) -> None:
+        if self._opened:
+            return
+        for chained in self.chain:
+            chained.operator.open(chained.ctx)
+        self._opened = True
+
+    # -- record routing through the chain ----------------------------------
+
+    def _make_dispatcher(self, chained: _ChainedOperator,
+                         input_index: int = 0) -> Callable[[Record], None]:
+        def dispatch(record: Record) -> None:
+            chained.backend.set_current_key(record.key)
+            chained.ctx.current_timestamp = record.timestamp
+            chained.operator.process(record)
+        return dispatch
+
+    def _route_to_outputs(self, record: Record) -> None:
+        self._records_out.inc()
+        for edge in self.output_edges:
+            edge.emit_record(record)
+
+    def _watermark_from_chain(self, position: int) -> Callable[[int], None]:
+        """Watermarks generated *inside* the chain (timestamp assigners)
+        advance the remaining chain suffix, then leave the task."""
+        def emit(timestamp: int) -> None:
+            self._advance_chain_watermark(timestamp, start=position + 1)
+            self._forward_watermark(timestamp)
+        return emit
+
+    # -- stepping -----------------------------------------------------------
+
+    @property
+    def has_output_capacity(self) -> bool:
+        return all(edge.has_capacity for edge in self.output_edges)
+
+    @property
+    def is_runnable(self) -> bool:
+        if self.finished or self.failed is not None:
+            return False
+        if not self.has_output_capacity:
+            return False
+        if self._is_source:
+            return True
+        return (any(channel.readable for channel, _ in self.inputs)
+                or self._all_inputs_finished())
+
+    def _all_inputs_finished(self) -> bool:
+        return bool(self.inputs) and all(channel.finished
+                                         for channel, _ in self.inputs)
+
+    def step(self) -> bool:
+        """Do a bounded amount of work; returns True if progress was made."""
+        if self.finished or self.failed is not None:
+            return False
+        try:
+            if self._is_source:
+                return self._step_source()
+            return self._step_processing()
+        except BaseException as exc:  # surfaces in Engine.execute
+            self.failed = exc
+            raise
+
+    def _step_source(self) -> bool:
+        if self.pending_checkpoint is not None:
+            checkpoint_id = self.pending_checkpoint
+            self.pending_checkpoint = None
+            self._snapshot_and_ack(checkpoint_id)
+            self._broadcast(CheckpointBarrier(checkpoint_id))
+            return True
+        more = self.chain[0].operator.emit_batch(self._source_ctx,
+                                                 self.elements_per_step)
+        if not more:
+            self._finish_task()
+        return True
+
+    def _step_processing(self) -> bool:
+        progressed = False
+        for _ in range(self.elements_per_step):
+            element, channel_index = self._poll_fair()
+            if element is None:
+                break
+            progressed = True
+            self._dispatch_input(element, channel_index)
+            if self.finished:
+                return True
+        if not progressed and self._all_inputs_finished() and not self.finished:
+            self._finish_task()
+            return True
+        return progressed
+
+    def _poll_fair(self) -> Tuple[Optional[StreamElement], int]:
+        """Round-robin over readable input channels."""
+        total = len(self.inputs)
+        for offset in range(total):
+            index = (self._next_input + offset) % total
+            channel, _ = self.inputs[index]
+            element = channel.poll()
+            if element is not None:
+                self._next_input = (index + 1) % total
+                return element, index
+        return None, -1
+
+    def _dispatch_input(self, element: StreamElement, channel_index: int) -> None:
+        if element.is_record:
+            self._records_in.inc()
+            _, input_index = self.inputs[channel_index]
+            head = self.chain[0]
+            head.backend.set_current_key(element.key)
+            head.ctx.current_timestamp = element.timestamp
+            if input_index == 0:
+                head.operator.process(element)
+            else:
+                head.operator.process2(element)
+        elif element.is_watermark:
+            self._on_channel_watermark(element.timestamp, channel_index)
+        elif element.is_barrier:
+            self._on_barrier(element, channel_index)
+        elif element.is_end:
+            self._on_channel_end(channel_index)
+
+    # -- watermarks ----------------------------------------------------------
+
+    def _on_channel_watermark(self, timestamp: int, channel_index: int) -> None:
+        if timestamp > self._channel_watermarks[channel_index]:
+            self._channel_watermarks[channel_index] = timestamp
+        self._recompute_combined_watermark()
+
+    def _recompute_combined_watermark(self) -> None:
+        live = [wm if not self.inputs[index][0].finished else MAX_TIMESTAMP
+                for index, wm in self._channel_watermarks.items()]
+        combined = min(live) if live else MAX_TIMESTAMP
+        if combined > self._combined_watermark:
+            self._combined_watermark = combined
+            self._watermark_gauge.set(min(combined, MAX_TIMESTAMP))
+            self._advance_chain_watermark(combined, start=0)
+            self._forward_watermark(combined)
+
+    def _advance_chain_watermark(self, timestamp: int, start: int) -> None:
+        """Fire due event-time timers and notify ``on_watermark`` for the
+        chain suffix beginning at ``start``."""
+        for chained in self.chain[start:]:
+            self._fire_event_timers(chained, timestamp)
+            chained.operator.on_watermark(timestamp)
+
+    def _fire_event_timers(self, chained: _ChainedOperator,
+                           up_to: int) -> None:
+        # Loop: timer callbacks may register new timers that are also due.
+        while True:
+            due = chained.timers.event_time.pop_due(up_to)
+            if not due:
+                return
+            for timestamp, key, namespace in due:
+                chained.backend.set_current_key(key)
+                chained.ctx.current_timestamp = timestamp
+                chained.operator.on_event_timer(timestamp, key, namespace)
+
+    def _forward_watermark(self, timestamp: int) -> None:
+        if timestamp <= self._emitted_watermark:
+            return
+        self._emitted_watermark = timestamp
+        self._broadcast(Watermark(timestamp))
+
+    def on_processing_time(self, now: int) -> None:
+        """Called by the scheduler whenever the simulated clock advances."""
+        if self.finished or self.failed is not None:
+            return
+        for chained in self.chain:
+            while True:
+                due = chained.timers.processing_time.pop_due(now)
+                if not due:
+                    break
+                for timestamp, key, namespace in due:
+                    chained.backend.set_current_key(key)
+                    chained.ctx.current_timestamp = timestamp
+                    chained.operator.on_processing_timer(timestamp, key,
+                                                         namespace)
+
+    # -- checkpoints -----------------------------------------------------------
+
+    def _on_barrier(self, barrier: CheckpointBarrier, channel_index: int) -> None:
+        checkpoint_id = barrier.checkpoint_id
+        if self._aligning_checkpoint is None:
+            self._aligning_checkpoint = checkpoint_id
+            self._aligned_channels = set()
+        if checkpoint_id != self._aligning_checkpoint:
+            return  # late barrier of an aborted checkpoint: drop
+        channel, _ = self.inputs[channel_index]
+        channel.blocked = True
+        self._aligned_channels.add(channel_index)
+        live = {index for index, (ch, _) in enumerate(self.inputs)
+                if not ch.finished}
+        if live.issubset(self._aligned_channels):
+            self._snapshot_and_ack(checkpoint_id)
+            self._broadcast(CheckpointBarrier(checkpoint_id))
+            for index in self._aligned_channels:
+                self.inputs[index][0].blocked = False
+            self._aligning_checkpoint = None
+            self._aligned_channels = set()
+
+    def _snapshot_and_ack(self, checkpoint_id: int) -> None:
+        snapshot = TaskSnapshot(
+            self.subtask_id,
+            keyed_state={str(i): chained.backend.snapshot()
+                         for i, chained in enumerate(self.chain)},
+            operator_state={str(i): chained.operator.snapshot_state()
+                            for i, chained in enumerate(self.chain)},
+            timers={str(i): chained.timers.snapshot()
+                    for i, chained in enumerate(self.chain)},
+        )
+        if self.checkpoint_ack is not None:
+            self.checkpoint_ack(checkpoint_id, snapshot)
+
+    def restore(self, snapshot: TaskSnapshot) -> None:
+        """Reset this subtask to the checkpointed state."""
+        for i, chained in enumerate(self.chain):
+            chained.backend.restore(snapshot.keyed_state.get(str(i), {}))
+            operator_state = snapshot.operator_state.get(str(i))
+            if operator_state is not None:
+                chained.operator.restore_state(operator_state)
+            chained.timers.restore(snapshot.timers.get(str(i), {}))
+
+    def reset_progress(self) -> None:
+        """Clear watermark/barrier progress on recovery (channels are
+        cleared by the engine)."""
+        for index in self._channel_watermarks:
+            self._channel_watermarks[index] = MIN_TIMESTAMP
+        self._combined_watermark = MIN_TIMESTAMP
+        self._emitted_watermark = MIN_TIMESTAMP
+        self._aligning_checkpoint = None
+        self._aligned_channels = set()
+        self.pending_checkpoint = None
+        self.finished = False
+        self.failed = None
+
+    # -- end of input -------------------------------------------------------
+
+    def _on_channel_end(self, channel_index: int) -> None:
+        channel, _ = self.inputs[channel_index]
+        channel.finished = True
+        self._channel_watermarks[channel_index] = MAX_TIMESTAMP
+        self._recompute_combined_watermark()
+        if self._all_inputs_finished():
+            self._finish_task()
+
+    def _finish_task(self) -> None:
+        if self.finished:
+            return
+        # Make sure event time is fully flushed before finishing.
+        if self._combined_watermark < MAX_TIMESTAMP:
+            self._combined_watermark = MAX_TIMESTAMP
+            self._advance_chain_watermark(MAX_TIMESTAMP, start=0)
+        self._forward_watermark(MAX_TIMESTAMP)
+        # Bounded input also flushes pending processing-time timers, so
+        # processing-time windows do not silently drop their tail.
+        for chained in self.chain:
+            while True:
+                due = chained.timers.processing_time.pop_due(MAX_TIMESTAMP)
+                if not due:
+                    break
+                for timestamp, key, namespace in due:
+                    chained.backend.set_current_key(key)
+                    chained.ctx.current_timestamp = timestamp
+                    chained.operator.on_processing_timer(timestamp, key,
+                                                         namespace)
+        for chained in self.chain:
+            chained.ctx.current_timestamp = MAX_TIMESTAMP
+            chained.operator.finish()
+        self._broadcast(END_OF_STREAM)
+        for chained in self.chain:
+            chained.operator.close()
+        self.finished = True
+
+    def _broadcast(self, element: StreamElement) -> None:
+        for edge in self.output_edges:
+            edge.broadcast(element)

@@ -1,0 +1,45 @@
+"""Keyed state, state backends and checkpointing (asynchronous barrier
+snapshotting)."""
+
+from repro.state.backend import KeyedStateBackend
+from repro.state.checkpoint import (
+    CheckpointStore,
+    CompletedCheckpoint,
+    PendingCheckpoint,
+    TaskSnapshot,
+)
+from repro.state.savepoint import OperatorSnapshot, Savepoint
+from repro.state.descriptors import (
+    AggregatingState,
+    AggregatingStateDescriptor,
+    ListState,
+    ListStateDescriptor,
+    MapState,
+    MapStateDescriptor,
+    ReducingState,
+    ReducingStateDescriptor,
+    StateDescriptor,
+    ValueState,
+    ValueStateDescriptor,
+)
+
+__all__ = [
+    "KeyedStateBackend",
+    "OperatorSnapshot",
+    "Savepoint",
+    "CheckpointStore",
+    "CompletedCheckpoint",
+    "PendingCheckpoint",
+    "TaskSnapshot",
+    "AggregatingState",
+    "AggregatingStateDescriptor",
+    "ListState",
+    "ListStateDescriptor",
+    "MapState",
+    "MapStateDescriptor",
+    "ReducingState",
+    "ReducingStateDescriptor",
+    "StateDescriptor",
+    "ValueState",
+    "ValueStateDescriptor",
+]

@@ -1,0 +1,30 @@
+"""The declarative Table layer: relational operations over dict rows,
+compiled through a rule-based optimizer onto the unified engine."""
+
+from repro.table.optimizer import optimize
+from repro.table.plan import (
+    GroupAgg,
+    Scan,
+    Select,
+    Session,
+    Slide,
+    Tumble,
+    Where,
+    WindowAgg,
+)
+from repro.table.table import GroupedTable, Table, WindowedTable
+
+__all__ = [
+    "optimize",
+    "GroupAgg",
+    "Scan",
+    "Select",
+    "Session",
+    "Slide",
+    "Tumble",
+    "Where",
+    "WindowAgg",
+    "GroupedTable",
+    "Table",
+    "WindowedTable",
+]

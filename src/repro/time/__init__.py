@@ -1,0 +1,22 @@
+"""Time domains of the unified model: event time, processing time, timers."""
+
+from repro.time.clock import Clock, ManualClock, SystemClock
+from repro.time.timers import TimerQueue, TimerService
+from repro.time.watermarks import (
+    BoundedOutOfOrdernessGenerator,
+    PunctuatedGenerator,
+    WatermarkGenerator,
+    WatermarkStrategy,
+)
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "SystemClock",
+    "TimerQueue",
+    "TimerService",
+    "BoundedOutOfOrdernessGenerator",
+    "PunctuatedGenerator",
+    "WatermarkGenerator",
+    "WatermarkStrategy",
+]

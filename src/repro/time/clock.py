@@ -1,0 +1,51 @@
+"""Clocks for the three time domains of the unified model.
+
+The runtime is deterministic: *processing time* is a simulated clock the
+scheduler advances, so tests and benchmarks are reproducible regardless
+of host speed.  A wall clock is provided for benchmarks that want real
+elapsed time.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+
+class Clock:
+    """Interface: a source of the current processing time in milliseconds."""
+
+    def now(self) -> int:
+        raise NotImplementedError
+
+
+class ManualClock(Clock):
+    """A clock that only moves when told to; owned by the scheduler.
+
+    Determinism of the whole engine hinges on this: every run of a job on
+    the same input observes the same processing timestamps.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._now = start
+
+    def now(self) -> int:
+        return self._now
+
+    def advance(self, delta_ms: int) -> int:
+        if delta_ms < 0:
+            raise ValueError("time cannot move backwards; got %r" % delta_ms)
+        self._now += delta_ms
+        return self._now
+
+    def set(self, now_ms: int) -> None:
+        if now_ms < self._now:
+            raise ValueError(
+                "time cannot move backwards: %d -> %d" % (self._now, now_ms))
+        self._now = now_ms
+
+
+class SystemClock(Clock):
+    """Wall-clock milliseconds; for benchmark harness timing only."""
+
+    def now(self) -> int:
+        return int(_time.time() * 1000)

@@ -1,0 +1,113 @@
+"""Watermark strategies: how event-time progress is extracted from data.
+
+A :class:`WatermarkStrategy` pairs a timestamp assigner (pull the event
+time out of each record's value) with a :class:`WatermarkGenerator`
+(decide when to assert progress).  The three generators cover the
+standard Flink repertoire the STREAMLINE programming model exposes:
+
+* monotonic timestamps (``for_monotonic_timestamps``),
+* bounded out-of-orderness (``for_bounded_out_of_orderness``),
+* punctuated watermarks driven by marker records.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.runtime.elements import MIN_TIMESTAMP
+
+TimestampAssigner = Callable[[Any], int]
+
+
+class WatermarkGenerator:
+    """Decides the watermark to assert after each event / on each period."""
+
+    def on_event(self, value: Any, timestamp: int) -> Optional[int]:
+        """Called per record; return a watermark timestamp to emit now,
+        or ``None`` to stay silent (periodic generators stay silent)."""
+        raise NotImplementedError
+
+    def on_periodic(self) -> Optional[int]:
+        """Called on the periodic watermark interval; return the watermark
+        to emit, or ``None``."""
+        raise NotImplementedError
+
+
+class BoundedOutOfOrdernessGenerator(WatermarkGenerator):
+    """Watermark trails the maximum seen timestamp by a fixed bound.
+
+    With ``max_out_of_orderness == 0`` this degenerates to the monotonic
+    (ascending timestamps) generator.
+    """
+
+    def __init__(self, max_out_of_orderness: int) -> None:
+        if max_out_of_orderness < 0:
+            raise ValueError("out-of-orderness bound must be >= 0")
+        self._bound = max_out_of_orderness
+        self._max_seen = MIN_TIMESTAMP
+
+    def on_event(self, value: Any, timestamp: int) -> Optional[int]:
+        if timestamp > self._max_seen:
+            self._max_seen = timestamp
+        return None
+
+    def on_periodic(self) -> Optional[int]:
+        if self._max_seen == MIN_TIMESTAMP:
+            return None
+        return self._max_seen - self._bound
+
+
+class PunctuatedGenerator(WatermarkGenerator):
+    """Emit a watermark whenever a record satisfies a punctuation predicate.
+
+    This is the mechanism behind non-periodic user-defined windows: the
+    data itself carries progress markers.
+    """
+
+    def __init__(self, is_punctuation: Callable[[Any], bool],
+                 extract: Optional[Callable[[Any], int]] = None) -> None:
+        self._is_punctuation = is_punctuation
+        self._extract = extract
+
+    def on_event(self, value: Any, timestamp: int) -> Optional[int]:
+        if self._is_punctuation(value):
+            return self._extract(value) if self._extract else timestamp
+        return None
+
+    def on_periodic(self) -> Optional[int]:
+        return None
+
+
+class WatermarkStrategy:
+    """Timestamp extraction + watermark generation, as one user-facing unit."""
+
+    def __init__(self, timestamp_assigner: TimestampAssigner,
+                 generator_factory: Callable[[], WatermarkGenerator],
+                 periodic_interval_ms: int = 200) -> None:
+        if periodic_interval_ms <= 0:
+            raise ValueError("periodic interval must be positive")
+        self.timestamp_assigner = timestamp_assigner
+        self.generator_factory = generator_factory
+        self.periodic_interval_ms = periodic_interval_ms
+
+    @staticmethod
+    def for_monotonic_timestamps(
+            timestamp_assigner: TimestampAssigner) -> "WatermarkStrategy":
+        return WatermarkStrategy(
+            timestamp_assigner,
+            lambda: BoundedOutOfOrdernessGenerator(0))
+
+    @staticmethod
+    def for_bounded_out_of_orderness(
+            timestamp_assigner: TimestampAssigner,
+            max_out_of_orderness: int) -> "WatermarkStrategy":
+        return WatermarkStrategy(
+            timestamp_assigner,
+            lambda: BoundedOutOfOrdernessGenerator(max_out_of_orderness))
+
+    @staticmethod
+    def for_punctuated(timestamp_assigner: TimestampAssigner,
+                       is_punctuation: Callable[[Any], bool]) -> "WatermarkStrategy":
+        return WatermarkStrategy(
+            timestamp_assigner,
+            lambda: PunctuatedGenerator(is_punctuation))

@@ -1,0 +1,78 @@
+"""Windowing: assigners, triggers, evictors, aggregates and the standard
+window operator."""
+
+from repro.windowing.aggregates import (
+    AggregateFunction,
+    AvgAggregate,
+    ComposedAggregate,
+    CountAggregate,
+    InstrumentedAggregate,
+    MaxAggregate,
+    MinAggregate,
+    MinMaxSumCountAggregate,
+    ReduceAggregate,
+    SumAggregate,
+)
+from repro.windowing.assigners import (
+    EventTimeSessionWindows,
+    GlobalWindows,
+    SlidingEventTimeWindows,
+    TumblingEventTimeWindows,
+    TumblingProcessingTimeWindows,
+    WindowAssigner,
+)
+from repro.windowing.evictors import CountEvictor, Evictor, TimeEvictor
+from repro.windowing.join import WindowJoinOperator
+from repro.windowing.operator import (
+    ProcessWindowFunction,
+    WindowOperator,
+    WindowResult,
+)
+from repro.windowing.triggers import (
+    ContinuousEventTimeTrigger,
+    CountTrigger,
+    EventTimeTrigger,
+    ProcessingTimeTrigger,
+    PurgingTrigger,
+    Trigger,
+    TriggerContext,
+    TriggerResult,
+)
+from repro.windowing.windows import GlobalWindow, TimeWindow, merge_windows
+
+__all__ = [
+    "AggregateFunction",
+    "AvgAggregate",
+    "ComposedAggregate",
+    "CountAggregate",
+    "InstrumentedAggregate",
+    "MaxAggregate",
+    "MinAggregate",
+    "MinMaxSumCountAggregate",
+    "ReduceAggregate",
+    "SumAggregate",
+    "EventTimeSessionWindows",
+    "GlobalWindows",
+    "SlidingEventTimeWindows",
+    "TumblingEventTimeWindows",
+    "TumblingProcessingTimeWindows",
+    "WindowAssigner",
+    "CountEvictor",
+    "WindowJoinOperator",
+    "Evictor",
+    "TimeEvictor",
+    "ProcessWindowFunction",
+    "WindowOperator",
+    "WindowResult",
+    "ContinuousEventTimeTrigger",
+    "CountTrigger",
+    "EventTimeTrigger",
+    "ProcessingTimeTrigger",
+    "PurgingTrigger",
+    "Trigger",
+    "TriggerContext",
+    "TriggerResult",
+    "GlobalWindow",
+    "TimeWindow",
+    "merge_windows",
+]

@@ -1,0 +1,143 @@
+"""Window assigners: which windows an element belongs to.
+
+The repertoire covers the full spectrum the STREAMLINE model exposes:
+periodic (tumbling, sliding), non-periodic data-driven (session), and
+global windows for count/custom triggers.  Sliding windows with
+``slide < size`` assign each element to ``size / slide`` windows -- the
+redundancy Cutty's slicing removes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.windowing.windows import GlobalWindow, TimeWindow
+
+
+class WindowAssigner:
+    """Maps ``(value, timestamp)`` to the windows containing it."""
+
+    is_event_time = True
+
+    def assign(self, value: Any, timestamp: int) -> List[Any]:
+        raise NotImplementedError
+
+    @property
+    def is_merging(self) -> bool:
+        return False
+
+
+class TumblingEventTimeWindows(WindowAssigner):
+    """Fixed-size, gap-free, non-overlapping windows."""
+
+    def __init__(self, size: int, offset: int = 0) -> None:
+        if size <= 0:
+            raise ValueError("window size must be positive")
+        if not 0 <= offset < size:
+            raise ValueError("offset must satisfy 0 <= offset < size")
+        self.size = size
+        self.offset = offset
+
+    @classmethod
+    def of(cls, size: int, offset: int = 0) -> "TumblingEventTimeWindows":
+        return cls(size, offset)
+
+    def assign(self, value: Any, timestamp: int) -> List[TimeWindow]:
+        start = timestamp - ((timestamp - self.offset) % self.size)
+        return [TimeWindow(start, start + self.size)]
+
+    def __repr__(self) -> str:
+        return "TumblingEventTimeWindows(size=%d)" % self.size
+
+
+class SlidingEventTimeWindows(WindowAssigner):
+    """Overlapping windows of ``size``, started every ``slide``.
+
+    Each element lands in ``ceil(size / slide)`` windows; re-aggregating
+    every one of them independently is the cost Cutty's sharing removes.
+    """
+
+    def __init__(self, size: int, slide: int, offset: int = 0) -> None:
+        if size <= 0 or slide <= 0:
+            raise ValueError("size and slide must be positive")
+        if slide > size:
+            raise ValueError(
+                "slide > size would drop elements; use tumbling windows")
+        if not 0 <= offset < slide:
+            raise ValueError("offset must satisfy 0 <= offset < slide")
+        self.size = size
+        self.slide = slide
+        self.offset = offset
+
+    @classmethod
+    def of(cls, size: int, slide: int,
+           offset: int = 0) -> "SlidingEventTimeWindows":
+        return cls(size, slide, offset)
+
+    def assign(self, value: Any, timestamp: int) -> List[TimeWindow]:
+        windows: List[TimeWindow] = []
+        last_start = timestamp - ((timestamp - self.offset) % self.slide)
+        start = last_start
+        while start > timestamp - self.size:
+            windows.append(TimeWindow(start, start + self.size))
+            start -= self.slide
+        return windows
+
+    def __repr__(self) -> str:
+        return "SlidingEventTimeWindows(size=%d, slide=%d)" % (self.size,
+                                                               self.slide)
+
+
+class EventTimeSessionWindows(WindowAssigner):
+    """Data-driven windows closed by a period of inactivity.
+
+    Non-periodic: window boundaries depend on the data, so slicing
+    techniques restricted to periodic windows (Pairs, Panes) cannot be
+    applied -- the case motivating Cutty's generality.
+    """
+
+    def __init__(self, gap: int) -> None:
+        if gap <= 0:
+            raise ValueError("session gap must be positive")
+        self.gap = gap
+
+    @classmethod
+    def with_gap(cls, gap: int) -> "EventTimeSessionWindows":
+        return cls(gap)
+
+    def assign(self, value: Any, timestamp: int) -> List[TimeWindow]:
+        # A proto-window; the merging machinery in the window operator
+        # coalesces it with overlapping in-flight sessions.
+        return [TimeWindow(timestamp, timestamp + self.gap)]
+
+    @property
+    def is_merging(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "EventTimeSessionWindows(gap=%d)" % self.gap
+
+
+class GlobalWindows(WindowAssigner):
+    """Everything in one window; pair with a count or custom trigger."""
+
+    is_event_time = False
+
+    @classmethod
+    def create(cls) -> "GlobalWindows":
+        return cls()
+
+    def assign(self, value: Any, timestamp: int) -> List[GlobalWindow]:
+        return [GlobalWindow()]
+
+    def __repr__(self) -> str:
+        return "GlobalWindows()"
+
+
+class TumblingProcessingTimeWindows(TumblingEventTimeWindows):
+    """Tumbling windows over the (simulated) processing-time clock."""
+
+    is_event_time = False
+
+    def __repr__(self) -> str:
+        return "TumblingProcessingTimeWindows(size=%d)" % self.size

@@ -1,0 +1,60 @@
+"""Evictors: drop elements from a window's buffer before emission.
+
+Only meaningful for buffering (``apply``-style) windows; incremental
+aggregation cannot evict because raw elements are gone.  Provided for API
+completeness with count- and time-based policies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+TimestampedValue = Tuple[Any, int]
+
+
+class Evictor:
+    def evict_before(self, elements: List[TimestampedValue], window: Any,
+                     current_time: int) -> List[TimestampedValue]:
+        """Return the elements that survive, preserving order."""
+        raise NotImplementedError
+
+
+class CountEvictor(Evictor):
+    """Keeps only the last ``max_count`` elements."""
+
+    def __init__(self, max_count: int) -> None:
+        if max_count <= 0:
+            raise ValueError("max_count must be positive")
+        self.max_count = max_count
+
+    @staticmethod
+    def of(max_count: int) -> "CountEvictor":
+        return CountEvictor(max_count)
+
+    def evict_before(self, elements: List[TimestampedValue], window: Any,
+                     current_time: int) -> List[TimestampedValue]:
+        if len(elements) <= self.max_count:
+            return list(elements)
+        return list(elements[-self.max_count:])
+
+
+class TimeEvictor(Evictor):
+    """Keeps only elements within ``keep_ms`` of the newest element."""
+
+    def __init__(self, keep_ms: int) -> None:
+        if keep_ms <= 0:
+            raise ValueError("keep_ms must be positive")
+        self.keep_ms = keep_ms
+
+    @staticmethod
+    def of(keep_ms: int) -> "TimeEvictor":
+        return TimeEvictor(keep_ms)
+
+    def evict_before(self, elements: List[TimestampedValue], window: Any,
+                     current_time: int) -> List[TimestampedValue]:
+        if not elements:
+            return []
+        newest = max(timestamp for _, timestamp in elements)
+        cutoff = newest - self.keep_ms
+        return [(value, timestamp) for value, timestamp in elements
+                if timestamp > cutoff]

@@ -1,0 +1,73 @@
+"""Stream-stream window join.
+
+Joins two keyed streams per event-time window: elements of both inputs
+that share a key and fall into the same window are paired when the
+watermark closes the window (Flink's
+``a.join(b).where(...).equalTo(...).window(...)``).
+
+A genuinely *streaming* join: state is bounded by the window, cleared on
+firing, and both sides may be unbounded.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+from repro.runtime.elements import Record
+from repro.runtime.operators import Operator, OperatorContext
+from repro.state.descriptors import MapStateDescriptor
+from repro.windowing.assigners import WindowAssigner
+
+
+class WindowJoinOperator(Operator):
+    """Two-input keyed operator buffering per (key, window, side)."""
+
+    def __init__(self, assigner: WindowAssigner,
+                 join_fn: Callable[[Any, Any], Any] = lambda l, r: (l, r),
+                 name: str = "window-join") -> None:
+        super().__init__()
+        if assigner.is_merging:
+            raise ValueError("window joins do not support merging windows")
+        if not assigner.is_event_time:
+            raise ValueError("window joins require event-time windows")
+        self.name = name
+        self.assigner = assigner
+        self.join_fn = join_fn
+
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        self._left = ctx.get_state(MapStateDescriptor("join-left"))
+        self._right = ctx.get_state(MapStateDescriptor("join-right"))
+        self._pairs_emitted = ctx.metrics.counter("join_pairs")
+
+    def _buffer(self, state, record: Record) -> None:
+        if record.timestamp is None:
+            raise ValueError("window joins require timestamped records")
+        for window in self.assigner.assign(record.value, record.timestamp):
+            bucket = state.get(window)
+            if bucket is None:
+                bucket = []
+                state.put(window, bucket)
+            bucket.append(record.value)
+            self.ctx.register_event_time_timer(window.max_timestamp,
+                                               namespace=window)
+
+    def process(self, record: Record) -> None:
+        self._buffer(self._left, record)
+
+    def process2(self, record: Record) -> None:
+        self._buffer(self._right, record)
+
+    def on_event_timer(self, timestamp: int, key: Any,
+                       namespace: Hashable) -> None:
+        window = namespace
+        left_values = self._left.get(window) or []
+        right_values = self._right.get(window) or []
+        emit_ts = min(window.max_timestamp, 2**62)
+        for left_value in left_values:
+            for right_value in right_values:
+                self._pairs_emitted.inc()
+                self.ctx.emit(self.join_fn(left_value, right_value),
+                              timestamp=emit_ts)
+        self._left.remove(window)
+        self._right.remove(window)

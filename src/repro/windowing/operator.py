@@ -1,0 +1,290 @@
+"""The standard (unshared) window operator.
+
+This is the reference implementation every optimised strategy in
+:mod:`repro.cutty` is measured against: one accumulator (or buffer) per
+in-flight ``(key, window)`` pair, trigger-driven emission, merging
+support for session windows, and allowed lateness with late-record
+dropping.
+
+Two computation modes:
+
+* **incremental** -- an :class:`~repro.windowing.aggregates.AggregateFunction`
+  folds elements as they arrive; a sliding window of slide ``s`` and size
+  ``r`` costs ``r/s`` ``add`` calls per record (each element enters every
+  window it belongs to) -- exactly the redundancy Cutty removes;
+* **buffering** -- elements are kept raw and handed to a process-window
+  function on fire; required for evictors and arbitrary window logic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable, List, NamedTuple, Optional
+
+from repro.runtime.elements import Record
+from repro.runtime.operators import Operator, OperatorContext
+from repro.state.descriptors import MapStateDescriptor
+from repro.windowing.aggregates import AggregateFunction
+from repro.windowing.assigners import WindowAssigner
+from repro.windowing.evictors import Evictor
+from repro.windowing.triggers import (
+    EventTimeTrigger,
+    ProcessingTimeTrigger,
+    Trigger,
+    TriggerContext,
+    TriggerResult,
+)
+from repro.windowing.windows import merge_windows
+
+
+class WindowResult(NamedTuple):
+    """The default emission format of window operators."""
+
+    key: Any
+    window: Any
+    value: Any
+
+
+ProcessWindowFunction = Callable[[Any, Any, List[Any]], Iterable[Any]]
+
+
+class WindowOperator(Operator):
+    """Keyed windowing with per-(key, window) state."""
+
+    def __init__(self, assigner: WindowAssigner,
+                 aggregate: Optional[AggregateFunction] = None,
+                 process_fn: Optional[ProcessWindowFunction] = None,
+                 trigger: Optional[Trigger] = None,
+                 evictor: Optional[Evictor] = None,
+                 allowed_lateness: int = 0,
+                 late_data_tag: Any = None,
+                 name: str = "window") -> None:
+        super().__init__()
+        if (aggregate is None) == (process_fn is None):
+            raise ValueError(
+                "exactly one of aggregate / process_fn must be given")
+        if evictor is not None and aggregate is not None:
+            raise ValueError("evictors require the buffering (process_fn) mode")
+        if allowed_lateness < 0:
+            raise ValueError("allowed_lateness must be >= 0")
+        if evictor is not None and assigner.is_merging:
+            raise ValueError("evictors are not supported on merging windows")
+        self.name = name
+        self.assigner = assigner
+        self.aggregate = aggregate
+        self.process_fn = process_fn
+        self.evictor = evictor
+        self.allowed_lateness = allowed_lateness
+        #: When set, late records are emitted as ``(late_data_tag, value)``
+        #: side-output records instead of being silently dropped.
+        self.late_data_tag = late_data_tag
+        if trigger is not None:
+            self.trigger = trigger
+        elif assigner.is_event_time:
+            self.trigger = EventTimeTrigger()
+        else:
+            self.trigger = ProcessingTimeTrigger()
+        self._current_watermark = -(2**62)
+
+    # -- state plumbing ---------------------------------------------------
+
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        self._contents = ctx.get_state(MapStateDescriptor("window-contents"))
+        self._trigger_scratch = ctx.get_state(
+            MapStateDescriptor("trigger-scratch"))
+        self._late_dropped = ctx.metrics.counter("late_records_dropped")
+        self._windows_fired = ctx.metrics.counter("windows_fired")
+
+    def _trigger_ctx(self, window: Any) -> TriggerContext:
+        scratch = self._trigger_scratch.get(window)
+        if scratch is None:
+            scratch = {}
+            self._trigger_scratch.put(window, scratch)
+        return TriggerContext(
+            register_event_timer=lambda t: self.ctx.register_event_time_timer(
+                t, namespace=window),
+            delete_event_timer=lambda t: self.ctx.delete_event_time_timer(
+                t, namespace=window),
+            register_processing_timer=(
+                lambda t: self.ctx.register_processing_time_timer(
+                    t, namespace=window)),
+            trigger_state=scratch,
+        )
+
+    # -- element path -------------------------------------------------------
+
+    def process(self, record: Record) -> None:
+        if self.assigner.is_event_time:
+            if record.timestamp is None:
+                raise ValueError(
+                    "event-time windowing requires timestamped records; "
+                    "use assign_timestamps_and_watermarks() upstream")
+            timestamp = record.timestamp
+        else:
+            timestamp = self.ctx.processing_time()
+
+        windows = self.assigner.assign(record.value, timestamp)
+        if self.assigner.is_merging:
+            windows = [self._merge_in(window) for window in windows]
+
+        landed_somewhere = False
+        for window in windows:
+            if self._is_expired(window):
+                self._late_dropped.inc()
+                continue
+            landed_somewhere = True
+            self._add_to_window(window, record.value, timestamp)
+            trigger_ctx = self._trigger_ctx(window)
+            result = self.trigger.on_element(record.value, timestamp, window,
+                                             trigger_ctx)
+            self._handle_trigger_result(window, result)
+            self._register_cleanup(window)
+        if not landed_somewhere and self.late_data_tag is not None:
+            self.ctx.emit((self.late_data_tag, record.value),
+                          timestamp=timestamp)
+
+    def _is_expired(self, window: Any) -> bool:
+        if not self.assigner.is_event_time:
+            return False
+        return self._cleanup_time(window) <= self._current_watermark
+
+    def _cleanup_time(self, window: Any) -> int:
+        return window.max_timestamp + self.allowed_lateness
+
+    def _register_cleanup(self, window: Any) -> None:
+        if self.assigner.is_event_time:
+            self.ctx.register_event_time_timer(self._cleanup_time(window),
+                                               namespace=("cleanup", window))
+
+    def _add_to_window(self, window: Any, value: Any, timestamp: int) -> None:
+        current = self._contents.get(window)
+        if self.aggregate is not None:
+            if current is None:
+                current = self.aggregate.create_accumulator()
+            self._contents.put(window, self.aggregate.add(value, current))
+        else:
+            if current is None:
+                current = []
+                self._contents.put(window, current)
+            current.append((value, timestamp))
+
+    # -- session merging -----------------------------------------------------
+
+    def _merge_in(self, new_window: Any) -> Any:
+        """Coalesce ``new_window`` with overlapping in-flight windows of the
+        current key; returns the window the element should join."""
+        existing = [w for w in self._contents.keys()]
+        candidates = existing + [new_window]
+        for group in merge_windows(candidates):
+            if new_window not in group:
+                continue
+            if len(group) == 1:
+                return new_window
+            covering = group[0]
+            for member in group[1:]:
+                covering = covering.cover(member)
+            merged_acc = None
+            merged_buffer: List[Any] = []
+            for member in group:
+                state = self._contents.get(member)
+                if state is None:
+                    continue
+                if self.aggregate is not None:
+                    merged_acc = (state if merged_acc is None
+                                  else self.aggregate.merge(merged_acc, state))
+                else:
+                    merged_buffer.extend(state)
+                self._clear_window(member)
+            if self.aggregate is not None and merged_acc is not None:
+                self._contents.put(covering, merged_acc)
+            elif merged_buffer:
+                self._contents.put(covering, merged_buffer)
+            # Re-arm the trigger for the covering window.
+            trigger_ctx = self._trigger_ctx(covering)
+            if self.assigner.is_event_time:
+                trigger_ctx.register_event_time_timer(covering.max_timestamp)
+            self._register_cleanup(covering)
+            return covering
+        return new_window
+
+    # -- time path -------------------------------------------------------------
+
+    def on_watermark(self, timestamp: int) -> None:
+        self._current_watermark = timestamp
+
+    def snapshot_state(self) -> Any:
+        # The operator's watermark view is part of its state: restoring
+        # without it would misclassify replayed records as late.
+        return {"watermark": self._current_watermark}
+
+    def restore_state(self, state: Any) -> None:
+        self._current_watermark = state["watermark"]
+
+    def rescale_operator_state(self, states, subtask_index: int,
+                               parallelism: int) -> Any:
+        # Conservative: the lowest watermark any old subtask had seen.
+        watermarks = [state["watermark"] for state in states if state]
+        if not watermarks:
+            return None
+        return {"watermark": min(watermarks)}
+
+    def on_event_timer(self, timestamp: int, key: Any,
+                       namespace: Hashable) -> None:
+        if isinstance(namespace, tuple) and namespace[0] == "cleanup":
+            window = namespace[1]
+            # Event-time cleanup: the final fire already happened at
+            # max_timestamp (<= cleanup time), so just drop state.
+            self._clear_window(window)
+            return
+        window = namespace
+        if self._contents.get(window) is None:
+            return
+        result = self.trigger.on_event_time(timestamp, window,
+                                            self._trigger_ctx(window))
+        self._handle_trigger_result(window, result)
+
+    def on_processing_timer(self, timestamp: int, key: Any,
+                            namespace: Hashable) -> None:
+        window = namespace
+        if self._contents.get(window) is None:
+            return
+        result = self.trigger.on_processing_time(timestamp, window,
+                                                 self._trigger_ctx(window))
+        self._handle_trigger_result(window, result)
+
+    # -- firing -------------------------------------------------------------------
+
+    def _handle_trigger_result(self, window: Any,
+                               result: TriggerResult) -> None:
+        if result.fires:
+            self._fire(window)
+        if result.purges:
+            self._clear_window(window)
+
+    def _fire(self, window: Any) -> None:
+        state = self._contents.get(window)
+        if state is None:
+            return
+        self._windows_fired.inc()
+        key = self.ctx.current_key
+        emit_ts = min(window.max_timestamp, 2**62)
+        if self.aggregate is not None:
+            value = self.aggregate.get_result(state)
+            self.ctx.emit(WindowResult(key, window, value), timestamp=emit_ts)
+            return
+        elements = state
+        if self.evictor is not None:
+            elements = self.evictor.evict_before(elements, window,
+                                                 self._current_watermark)
+            self._contents.put(window, elements)
+        values = [value for value, _ in elements]
+        for output in self.process_fn(key, window, values):
+            self.ctx.emit(output, timestamp=emit_ts)
+
+    def _clear_window(self, window: Any) -> None:
+        self._contents.remove(window)
+        self.trigger.clear(window, self._trigger_ctx(window))
+        self._trigger_scratch.remove(window)
+        if self.assigner.is_event_time:
+            self.ctx.delete_event_time_timer(self._cleanup_time(window),
+                                             namespace=("cleanup", window))

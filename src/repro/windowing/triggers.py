@@ -1,0 +1,185 @@
+"""Triggers: when a window emits.
+
+A trigger observes elements and time for one ``(key, window)`` pair and
+answers with a :class:`TriggerResult`.  ``FIRE`` emits the current window
+contents (keeping state for later refinements, e.g. late data within the
+allowed lateness); ``FIRE_AND_PURGE`` emits and discards.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+
+class TriggerResult(enum.Enum):
+    CONTINUE = "continue"
+    FIRE = "fire"
+    PURGE = "purge"
+    FIRE_AND_PURGE = "fire_and_purge"
+
+    @property
+    def fires(self) -> bool:
+        return self in (TriggerResult.FIRE, TriggerResult.FIRE_AND_PURGE)
+
+    @property
+    def purges(self) -> bool:
+        return self in (TriggerResult.PURGE, TriggerResult.FIRE_AND_PURGE)
+
+
+class TriggerContext:
+    """What a trigger may do: register/delete timers, keep tiny state."""
+
+    def __init__(self, register_event_timer, delete_event_timer,
+                 register_processing_timer, trigger_state: dict) -> None:
+        self.register_event_time_timer = register_event_timer
+        self.delete_event_time_timer = delete_event_timer
+        self.register_processing_time_timer = register_processing_timer
+        self.state = trigger_state  # per (key, window) scratch space
+
+
+class Trigger:
+    def on_element(self, value: Any, timestamp: int, window: Any,
+                   ctx: TriggerContext) -> TriggerResult:
+        return TriggerResult.CONTINUE
+
+    def on_event_time(self, timestamp: int, window: Any,
+                      ctx: TriggerContext) -> TriggerResult:
+        return TriggerResult.CONTINUE
+
+    def on_processing_time(self, timestamp: int, window: Any,
+                           ctx: TriggerContext) -> TriggerResult:
+        return TriggerResult.CONTINUE
+
+    def clear(self, window: Any, ctx: TriggerContext) -> None:
+        pass
+
+
+class EventTimeTrigger(Trigger):
+    """Fires when the watermark passes the window's max timestamp."""
+
+    def on_element(self, value: Any, timestamp: int, window: Any,
+                   ctx: TriggerContext) -> TriggerResult:
+        ctx.register_event_time_timer(window.max_timestamp)
+        return TriggerResult.CONTINUE
+
+    def on_event_time(self, timestamp: int, window: Any,
+                      ctx: TriggerContext) -> TriggerResult:
+        if timestamp >= window.max_timestamp:
+            return TriggerResult.FIRE
+        return TriggerResult.CONTINUE
+
+    def clear(self, window: Any, ctx: TriggerContext) -> None:
+        ctx.delete_event_time_timer(window.max_timestamp)
+
+
+class ProcessingTimeTrigger(Trigger):
+    """Fires when the (simulated) processing clock passes the window end."""
+
+    def on_element(self, value: Any, timestamp: int, window: Any,
+                   ctx: TriggerContext) -> TriggerResult:
+        ctx.register_processing_time_timer(window.max_timestamp)
+        return TriggerResult.CONTINUE
+
+    def on_processing_time(self, timestamp: int, window: Any,
+                           ctx: TriggerContext) -> TriggerResult:
+        if timestamp >= window.max_timestamp:
+            return TriggerResult.FIRE_AND_PURGE
+        return TriggerResult.CONTINUE
+
+
+class ContinuousEventTimeTrigger(Trigger):
+    """Early firing: emits the window's *running* result every
+    ``interval`` of event time, plus the final result when the watermark
+    passes the window end.
+
+    The speculative-results pattern: downstream consumers see a partial
+    aggregate refine over time instead of waiting a full window length
+    (pair with non-purging semantics; the final firing supersedes the
+    earlier ones).
+    """
+
+    def __init__(self, interval: int) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+
+    def on_element(self, value: Any, timestamp: int, window: Any,
+                   ctx: TriggerContext) -> TriggerResult:
+        ctx.register_event_time_timer(window.max_timestamp)
+        if "next_fire" not in ctx.state:
+            next_fire = timestamp - (timestamp % self.interval) \
+                + self.interval
+            if next_fire < window.max_timestamp:
+                ctx.state["next_fire"] = next_fire
+                ctx.register_event_time_timer(next_fire)
+        return TriggerResult.CONTINUE
+
+    def on_event_time(self, timestamp: int, window: Any,
+                      ctx: TriggerContext) -> TriggerResult:
+        if timestamp >= window.max_timestamp:
+            return TriggerResult.FIRE
+        if timestamp == ctx.state.get("next_fire"):
+            next_fire = timestamp + self.interval
+            if next_fire < window.max_timestamp:
+                ctx.state["next_fire"] = next_fire
+                ctx.register_event_time_timer(next_fire)
+            else:
+                ctx.state.pop("next_fire", None)
+            return TriggerResult.FIRE
+        return TriggerResult.CONTINUE
+
+    def clear(self, window: Any, ctx: TriggerContext) -> None:
+        ctx.delete_event_time_timer(window.max_timestamp)
+        next_fire = ctx.state.pop("next_fire", None)
+        if next_fire is not None:
+            ctx.delete_event_time_timer(next_fire)
+
+
+class CountTrigger(Trigger):
+    """Fires every ``count`` elements (use with GlobalWindows)."""
+
+    def __init__(self, count: int) -> None:
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self.count = count
+
+    def on_element(self, value: Any, timestamp: int, window: Any,
+                   ctx: TriggerContext) -> TriggerResult:
+        seen = ctx.state.get("count", 0) + 1
+        if seen >= self.count:
+            ctx.state["count"] = 0
+            return TriggerResult.FIRE_AND_PURGE
+        ctx.state["count"] = seen
+        return TriggerResult.CONTINUE
+
+    def clear(self, window: Any, ctx: TriggerContext) -> None:
+        ctx.state.pop("count", None)
+
+
+class PurgingTrigger(Trigger):
+    """Upgrades every FIRE of the wrapped trigger to FIRE_AND_PURGE."""
+
+    def __init__(self, inner: Trigger) -> None:
+        self.inner = inner
+
+    @staticmethod
+    def of(inner: Trigger) -> "PurgingTrigger":
+        return PurgingTrigger(inner)
+
+    def _upgrade(self, result: TriggerResult) -> TriggerResult:
+        if result == TriggerResult.FIRE:
+            return TriggerResult.FIRE_AND_PURGE
+        return result
+
+    def on_element(self, value, timestamp, window, ctx) -> TriggerResult:
+        return self._upgrade(self.inner.on_element(value, timestamp, window, ctx))
+
+    def on_event_time(self, timestamp, window, ctx) -> TriggerResult:
+        return self._upgrade(self.inner.on_event_time(timestamp, window, ctx))
+
+    def on_processing_time(self, timestamp, window, ctx) -> TriggerResult:
+        return self._upgrade(self.inner.on_processing_time(timestamp, window, ctx))
+
+    def clear(self, window: Any, ctx: TriggerContext) -> None:
+        self.inner.clear(window, ctx)

@@ -1,0 +1,28 @@
+"""Every shipped example must run to completion (subprocess smoke test)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "examples")
+
+EXAMPLES = sorted(name for name in os.listdir(EXAMPLES_DIR)
+                  if name.endswith(".py"))
+
+
+def test_every_example_is_covered():
+    """If a new example is added, it is automatically picked up below."""
+    assert len(EXAMPLES) >= 8
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs_cleanly(example):
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, example)],
+        capture_output=True, text=True, timeout=600)
+    assert completed.returncode == 0, (
+        "%s failed:\n%s" % (example, completed.stderr[-2000:]))
+    assert completed.stdout.strip(), "%s produced no output" % example

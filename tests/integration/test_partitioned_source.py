@@ -1,0 +1,125 @@
+"""Tests for the partitioned source: semantics, recovery, full-job
+rescaling (sources included)."""
+
+import pytest
+
+from repro.api import StreamExecutionEnvironment
+from repro.connectors.partitioned import (
+    PartitionedSource,
+    partition_round_robin,
+)
+from repro.runtime.engine import EngineConfig
+
+KEYS = 5
+DATA = [("k%d" % (index % KEYS), 1) for index in range(3000)]
+PARTITIONS = 6
+
+
+def true_counts():
+    counts = {}
+    for key, _ in DATA:
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def pipeline(env, config_name="partitioned"):
+    return (env.from_partitioned_source(
+                partition_round_robin(DATA, PARTITIONS),
+                name="kafka-like")
+            .key_by(lambda v: v[0])
+            .count(name="running-count")
+            .collect(name="out"))
+
+
+class TestBasics:
+    def test_emits_every_partition_element(self):
+        env = StreamExecutionEnvironment(parallelism=2)
+        result = env.from_partitioned_source(
+            partition_round_robin(list(range(100)), 5)).collect()
+        env.execute()
+        assert sorted(result.get()) == list(range(100))
+
+    def test_more_subtasks_than_partitions(self):
+        env = StreamExecutionEnvironment(parallelism=8)
+        result = env.from_partitioned_source(
+            partition_round_robin(list(range(40)), 3)).collect()
+        env.execute()
+        assert sorted(result.get()) == list(range(40))
+
+    def test_timestamped_partitions(self):
+        parts = [lambda: [("a", 10), ("b", 30)], lambda: [("c", 20)]]
+        env = StreamExecutionEnvironment()
+        result = env.from_partitioned_source(
+            parts, timestamped=True).collect(with_timestamps=True)
+        env.execute()
+        assert sorted(result.get()) == [("a", 10), ("b", 30), ("c", 20)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionedSource([])
+        with pytest.raises(ValueError):
+            partition_round_robin([1], 0)
+
+
+class TestRecovery:
+    def test_crash_recovery_replays_per_partition(self):
+        fired = {"done": False}
+
+        def crash_once(engine, rounds):
+            if (not fired["done"] and len(engine.checkpoint_store) >= 1
+                    and rounds > 40):
+                fired["done"] = True
+                return True
+            return False
+
+        env = StreamExecutionEnvironment(
+            parallelism=2,
+            config=EngineConfig(checkpoint_interval_ms=5,
+                                elements_per_step=4,
+                                failure_hook=crash_once))
+        result = pipeline(env)
+        job = env.execute()
+        assert fired["done"] and job.recoveries == 1
+        finals = {}
+        for key, running in result.get():
+            finals[key] = max(finals.get(key, 0), running)
+        assert finals == true_counts()
+
+
+class TestFullJobRescaling:
+    """Savepoint + resume at different parallelism INCLUDING the source."""
+
+    def _first_half(self, parallelism):
+        def cancel(engine, rounds):
+            return rounds >= 60 and len(engine.checkpoint_store) >= 1
+        env = StreamExecutionEnvironment(
+            parallelism=parallelism,
+            config=EngineConfig(checkpoint_interval_ms=5,
+                                elements_per_step=4, cancel_hook=cancel))
+        pipeline(env)
+        assert env.execute().cancelled
+        return env.last_engine.create_savepoint()
+
+    def _second_half(self, parallelism, savepoint):
+        env = StreamExecutionEnvironment(
+            parallelism=parallelism,
+            config=EngineConfig(elements_per_step=4))
+        result = pipeline(env)
+        env.execute(from_savepoint=savepoint)
+        finals = {}
+        for key, running in result.get():
+            finals[key] = max(finals.get(key, 0), running)
+        return finals
+
+    def test_scale_source_up(self):
+        savepoint = self._first_half(parallelism=2)
+        assert self._second_half(3, savepoint) == true_counts()
+
+    def test_scale_source_down(self):
+        savepoint = self._first_half(parallelism=3)
+        assert self._second_half(1, savepoint) == true_counts()
+
+    def test_scale_beyond_partition_count(self):
+        savepoint = self._first_half(parallelism=2)
+        # 8 subtasks over 6 partitions: two subtasks own nothing.
+        assert self._second_half(8, savepoint) == true_counts()

@@ -1,0 +1,62 @@
+"""Property-based tests for the I2 stack (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.i2 import M4Aggregator, pixel_error, render_line_chart
+
+WIDTH, HEIGHT = 24, 18
+T_MIN, T_MAX = 0.0, 100.0
+V_MIN, V_MAX = -50.0, 50.0
+
+
+@st.composite
+def time_series(draw, max_points=120):
+    count = draw(st.integers(min_value=1, max_value=max_points))
+    timestamps = draw(st.lists(
+        st.floats(min_value=T_MIN, max_value=T_MAX,
+                  allow_nan=False, allow_infinity=False),
+        min_size=count, max_size=count, unique=True))
+    values = draw(st.lists(
+        st.floats(min_value=V_MIN, max_value=V_MAX,
+                  allow_nan=False, allow_infinity=False),
+        min_size=count, max_size=count))
+    return sorted(zip(timestamps, values))
+
+
+def render(points):
+    return render_line_chart(points, WIDTH, HEIGHT, T_MIN, T_MAX,
+                             V_MIN, V_MAX)
+
+
+@settings(max_examples=80, deadline=None)
+@given(points=time_series())
+def test_m4_is_pixel_exact_on_arbitrary_series(points):
+    """The I2 correctness claim as a universal property: for ANY series,
+    rendering the M4 reduction equals rendering the raw data."""
+    aggregator = M4Aggregator(T_MIN, T_MAX, WIDTH)
+    aggregator.insert_many(points)
+    assert pixel_error(render(aggregator.points()), render(points)) == 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(points=time_series())
+def test_m4_transfer_bound_is_universal(points):
+    aggregator = M4Aggregator(T_MIN, T_MAX, WIDTH)
+    aggregator.insert_many(points)
+    assert aggregator.tuples_retained <= 4 * WIDTH
+    assert aggregator.tuples_retained <= 4 * len(points)
+
+
+@settings(max_examples=50, deadline=None)
+@given(points=time_series(), factor=st.sampled_from([2, 3, 4]))
+def test_rescale_down_equals_direct_aggregation(points, factor):
+    """Zoom-out exactness: merging fine columns equals aggregating at the
+    coarse width directly (when widths divide)."""
+    coarse_width = WIDTH
+    fine_width = WIDTH * factor
+    fine = M4Aggregator(T_MIN, T_MAX, fine_width)
+    fine.insert_many(points)
+    direct = M4Aggregator(T_MIN, T_MAX, coarse_width)
+    direct.insert_many(points)
+    assert fine.rescale(coarse_width).points() == direct.points()

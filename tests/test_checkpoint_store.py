@@ -1,0 +1,75 @@
+"""Unit tests for checkpoint bookkeeping (pending/completed/store)."""
+
+import pytest
+
+from repro.state.checkpoint import (
+    CheckpointStore,
+    PendingCheckpoint,
+    TaskSnapshot,
+)
+
+
+def snap(operator="op", index=0):
+    return TaskSnapshot((operator, index), keyed_state={})
+
+
+class TestPendingCheckpoint:
+    def test_completes_when_all_ack(self):
+        pending = PendingCheckpoint(1, {("op", 0), ("op", 1)}, trigger_time=0)
+        assert not pending.is_complete
+        pending.acknowledge(snap(index=0))
+        assert pending.pending_subtasks == {("op", 1)}
+        pending.acknowledge(snap(index=1))
+        assert pending.is_complete
+
+    def test_unexpected_ack_rejected(self):
+        pending = PendingCheckpoint(1, {("op", 0)}, trigger_time=0)
+        with pytest.raises(ValueError):
+            pending.acknowledge(snap(operator="other"))
+
+    def test_seal_requires_completion(self):
+        pending = PendingCheckpoint(1, {("op", 0)}, trigger_time=0)
+        with pytest.raises(RuntimeError):
+            pending.seal(completion_time=5)
+
+    def test_seal_produces_completed_with_duration(self):
+        pending = PendingCheckpoint(7, {("op", 0)}, trigger_time=10)
+        pending.acknowledge(snap())
+        completed = pending.seal(completion_time=25)
+        assert completed.checkpoint_id == 7
+        assert completed.duration_ms == 15
+        assert completed.snapshot_for(("op", 0)) is not None
+        assert completed.snapshot_for(("op", 9)) is None
+
+    def test_empty_participants_rejected(self):
+        with pytest.raises(ValueError):
+            PendingCheckpoint(1, set(), trigger_time=0)
+
+
+class TestCheckpointStore:
+    def _completed(self, checkpoint_id):
+        pending = PendingCheckpoint(checkpoint_id, {("op", 0)}, trigger_time=0)
+        pending.acknowledge(snap())
+        return pending.seal(completion_time=1)
+
+    def test_latest_wins(self):
+        store = CheckpointStore(max_retained=3)
+        for checkpoint_id in (1, 2, 3):
+            store.add(self._completed(checkpoint_id))
+        assert store.latest.checkpoint_id == 3
+
+    def test_retention_evicts_oldest(self):
+        store = CheckpointStore(max_retained=2)
+        for checkpoint_id in (1, 2, 3):
+            store.add(self._completed(checkpoint_id))
+        retained = [c.checkpoint_id for c in store.all_retained]
+        assert retained == [2, 3]
+
+    def test_empty_store(self):
+        store = CheckpointStore()
+        assert store.latest is None
+        assert len(store) == 0
+
+    def test_invalid_retention_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointStore(max_retained=0)

@@ -1,0 +1,52 @@
+"""Tests for delta (content-sensitive) windows through Cutty."""
+
+import pytest
+
+from repro.cutty import CuttyAggregator, DeltaWindows
+from repro.windowing.aggregates import AvgAggregate, CountAggregate
+
+from tests.test_cutty_strategies import run
+
+
+class TestDeltaWindows:
+    def test_splits_on_threshold_crossing(self):
+        # Values drift slowly, then jump: new window at each jump.
+        stream = [(10.0, 0), (10.4, 10), (10.8, 20),   # within delta of 10.0
+                  (12.0, 30),                          # jump: new window
+                  (12.3, 40),
+                  (9.0, 50)]                           # jump: new window
+        aggregator = CuttyAggregator(CountAggregate(),
+                                     DeltaWindows(1.0, value_fn=lambda v: v))
+        results = run(aggregator, stream)
+        assert results == {(0, 30): 3, (30, 50): 2, (50, 51): 1}
+
+    def test_single_window_when_values_stay_close(self):
+        stream = [(5.0 + 0.01 * i, i) for i in range(100)]
+        aggregator = CuttyAggregator(CountAggregate(), DeltaWindows(10.0))
+        results = run(aggregator, stream)
+        assert results == {(0, 100): 100}
+
+    def test_value_fn_extraction(self):
+        stream = [(("sensor", 1.0), 0), (("sensor", 5.0), 10),
+                  (("sensor", 5.5), 20)]
+        aggregator = CuttyAggregator(
+            CountAggregate(), DeltaWindows(2.0, value_fn=lambda v: v[1]))
+        results = run(aggregator, stream)
+        assert results == {(0, 10): 1, (10, 21): 2}
+
+    def test_average_per_regime(self):
+        """The classic use: average per quasi-stationary regime."""
+        stream = ([(100.0, t) for t in range(0, 50, 10)]
+                  + [(200.0, t) for t in range(50, 100, 10)])
+        aggregator = CuttyAggregator(AvgAggregate(), DeltaWindows(50.0))
+        results = run(aggregator, stream)
+        assert results[(0, 50)] == pytest.approx(100.0)
+        assert results[(50, 91)] == pytest.approx(200.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeltaWindows(0)
+
+    def test_empty_stream_flush(self):
+        spec = DeltaWindows(1.0)
+        assert spec.flush(100) == []

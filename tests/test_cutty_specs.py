@@ -1,0 +1,147 @@
+"""Unit tests for window-deterministic functions (specs)."""
+
+import pytest
+
+from repro.cutty.specs import (
+    CountWindows,
+    PeriodicWindows,
+    PunctuationWindows,
+    SessionWindows,
+)
+
+
+def kinds(events):
+    return [event[0] for event in events]
+
+
+class TestPeriodicWindows:
+    def test_initial_element_registers_containing_windows(self):
+        spec = PeriodicWindows(size=10, slide=5)
+        events = spec.on_time(12)
+        begins = [event for event in events if event[0] == "begin"]
+        # Windows containing ts 12: starts 5 and 10.
+        assert [b[1] for b in begins] == [5, 10]
+        assert not [e for e in events if e[0] == "end"]
+
+    def test_begin_and_end_ordering_at_equal_points(self):
+        spec = PeriodicWindows(size=10, slide=10)  # tumbling
+        spec.on_time(0)
+        events = spec.on_time(10)
+        # Begin of [10, 20) sorts before end of [0, 10) at point 10.
+        assert kinds(events) == ["begin", "end"]
+        assert events[1][3] == (0, 10)
+
+    def test_ends_lag_begins_by_size(self):
+        spec = PeriodicWindows(size=20, slide=5)
+        spec.on_time(0)
+        events = spec.on_time(23)
+        ends = [event[3] for event in events if event[0] == "end"]
+        # All windows containing the first element (ts 0) end by 23,
+        # including the ones that started before the stream did.
+        assert ends == [(-15, 5), (-10, 10), (-5, 15), (0, 20)]
+
+    def test_flush_emits_tail_windows(self):
+        spec = PeriodicWindows(size=10, slide=5)
+        spec.on_time(0)
+        spec.on_time(7)
+        windows = [event[3] for event in spec.flush(7)]
+        assert windows == [(0, 10), (5, 15)]
+
+    def test_assign_enumerates_containing_windows(self):
+        spec = PeriodicWindows(size=10, slide=5)
+        assert spec.assign(12, 0) == [(10, 20), (5, 15)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicWindows(0)
+        with pytest.raises(ValueError):
+            PeriodicWindows(10, 20)
+
+    def test_default_slide_is_tumbling(self):
+        spec = PeriodicWindows(10)
+        assert spec.slide == 10
+
+
+class TestSessionWindows:
+    def test_first_element_begins_session(self):
+        spec = SessionWindows(gap=10)
+        assert kinds(spec.on_time(100)) == ["begin"]
+        spec.after_element(None, 100, 0)
+
+    def test_gap_closes_and_reopens(self):
+        spec = SessionWindows(gap=10)
+        spec.on_time(100)
+        spec.after_element(None, 100, 0)
+        spec.on_time(105)
+        spec.after_element(None, 105, 1)
+        events = spec.on_time(200)
+        assert kinds(events) == ["end", "begin"]
+        assert events[0][3] == (100, 115)
+        assert events[1][1] == 200
+
+    def test_within_gap_no_events(self):
+        spec = SessionWindows(gap=10)
+        spec.on_time(100)
+        spec.after_element(None, 100, 0)
+        assert spec.on_time(109) == []
+
+    def test_flush_closes_open_session(self):
+        spec = SessionWindows(gap=10)
+        spec.on_time(100)
+        spec.after_element(None, 100, 0)
+        events = spec.flush(100)
+        assert [event[3] for event in events] == [(100, 110)]
+        assert spec.flush(100) == []  # idempotent
+
+    def test_flush_without_session(self):
+        assert SessionWindows(gap=10).flush(0) == []
+
+
+class TestCountWindows:
+    def test_begin_every_slide_tuples(self):
+        spec = CountWindows(size=4, slide=2)
+        begins = []
+        for seq in range(6):
+            begins += spec.before_element(None, seq * 10, seq)
+        assert [event[2] for event in begins] == [0, 2, 4]
+
+    def test_end_after_size_tuples(self):
+        spec = CountWindows(size=4, slide=2)
+        ends = []
+        for seq in range(8):
+            ends += spec.after_element(None, seq * 10, seq)
+        assert [event[3] for event in ends] == [(0, 4), (2, 6), (4, 8)]
+
+    def test_tumbling_count(self):
+        spec = CountWindows(size=3)
+        ends = []
+        for seq in range(9):
+            ends += spec.after_element(None, seq, seq)
+        assert [event[3] for event in ends] == [(0, 3), (3, 6), (6, 9)]
+
+    def test_assign(self):
+        spec = CountWindows(size=4, slide=2)
+        assert spec.assign(0, 5) == [(4, 8), (2, 6)]
+
+    def test_no_flush(self):
+        spec = CountWindows(size=4, slide=2)
+        spec.before_element(None, 0, 0)
+        assert spec.flush(100) == []
+
+
+class TestPunctuationWindows:
+    def test_windows_split_at_punctuations(self):
+        spec = PunctuationWindows(lambda v: v == "|")
+        stream = ["a", "b", "|", "c", "|", "d"]
+        events = []
+        for seq, value in enumerate(stream):
+            events += spec.before_element(value, seq * 10, seq)
+            spec.after_element(value, seq * 10, seq)
+        events += spec.flush(50)
+        ends = [event[3] for event in events if event[0] == "end"]
+        assert ends == [(0, 20), (20, 40), (40, 51)]
+
+    def test_first_element_starts_window_even_if_not_punctuation(self):
+        spec = PunctuationWindows(lambda v: False)
+        events = spec.before_element("x", 5, 0)
+        assert kinds(events) == ["begin"]

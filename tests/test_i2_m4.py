@@ -1,0 +1,230 @@
+"""Tests for M4: correctness (pixel-exact), minimality, rate independence."""
+
+import math
+import random
+
+import pytest
+
+from repro.i2.m4 import ColumnAggregate, M4Aggregator
+from repro.i2.raster import pixel_error, render_line_chart
+from repro.i2.reduction import (
+    MinMaxReducer,
+    NthSampler,
+    PiecewiseAverage,
+    RandomSampler,
+    RawTransfer,
+)
+
+WIDTH, HEIGHT = 40, 30
+T_MIN, T_MAX = 0, 1000
+V_MIN, V_MAX = -100, 100
+
+
+def wavy_series(n, seed=5):
+    rng = random.Random(seed)
+    points = []
+    for i in range(n):
+        ts = T_MIN + (T_MAX - T_MIN) * i / max(n - 1, 1)
+        value = (60 * math.sin(i / 7.0) + 30 * math.sin(i / 2.3)
+                 + rng.uniform(-8, 8))
+        points.append((ts, max(V_MIN, min(V_MAX, value))))
+    return points
+
+
+def render(points):
+    return render_line_chart(points, WIDTH, HEIGHT, T_MIN, T_MAX,
+                             V_MIN, V_MAX)
+
+
+class TestColumnAggregate:
+    def test_tracks_four_extremes(self):
+        aggregate = ColumnAggregate()
+        for ts, value in [(1, 5), (2, -3), (3, 9), (4, 2)]:
+            aggregate.add(ts, value)
+        assert aggregate.first == (1, 5)
+        assert aggregate.last == (4, 2)
+        assert aggregate.minimum == (2, -3)
+        assert aggregate.maximum == (3, 9)
+        assert aggregate.count == 4
+
+    def test_points_deduplicated_and_ordered(self):
+        aggregate = ColumnAggregate()
+        aggregate.add(5, 1)  # single point: all four roles coincide
+        assert aggregate.points() == [(5, 1)]
+
+    def test_merge(self):
+        a, b = ColumnAggregate(), ColumnAggregate()
+        a.add(1, 10)
+        a.add(2, -5)
+        b.add(3, 50)
+        b.add(4, 0)
+        merged = a.merge(b)
+        assert merged.first == (1, 10)
+        assert merged.last == (4, 0)
+        assert merged.minimum == (2, -5)
+        assert merged.maximum == (3, 50)
+
+
+class TestM4Correctness:
+    """The I2 claim: reduced rendering == raw rendering, pixel for pixel."""
+
+    @pytest.mark.parametrize("n", [50, 500, 5000])
+    def test_pixel_exact_at_any_rate(self, n):
+        points = wavy_series(n, seed=n)
+        aggregator = M4Aggregator(T_MIN, T_MAX, WIDTH)
+        aggregator.insert_many(points)
+        assert pixel_error(render(aggregator.points()), render(points)) == 0
+
+    def test_pixel_exact_on_random_walk(self):
+        rng = random.Random(99)
+        value = 0.0
+        points = []
+        for ts in range(0, 1000, 1):
+            value = max(V_MIN, min(V_MAX, value + rng.uniform(-5, 5)))
+            points.append((float(ts), value))
+        aggregator = M4Aggregator(T_MIN, T_MAX, WIDTH)
+        aggregator.insert_many(points)
+        assert pixel_error(render(aggregator.points()), render(points)) == 0
+
+    def test_pixel_exact_with_sparse_columns(self):
+        # Large gaps: some columns empty; inter-column joins must survive.
+        points = [(0, 0), (10, 80), (500, -60), (990, 40)]
+        aggregator = M4Aggregator(T_MIN, T_MAX, WIDTH)
+        aggregator.insert_many(points)
+        assert pixel_error(render(aggregator.points()), render(points)) == 0
+
+
+class TestM4Minimality:
+    """Dropping any of the four roles can change the raster: none of
+    first/last/min/max is redundant in general (the I2 minimality claim).
+
+    Uses an adversarial series where, in one column, the four roles sit
+    at pixel-distinct positions: the min/max carry the vertical span,
+    and the first/last anchor the long inter-column joins.
+    """
+
+    # Chart: 30 columns over [0, 300), values 0..100.
+    GEOMETRY = dict(width=30, height=100, t_min=0, t_max=300,
+                    v_min=0, v_max=100)
+    SERIES = [
+        (50.0, 50.0),    # column 5
+        (111.0, 90.0),   # column 11: first
+        (113.0, 99.0),   # column 11: max
+        (117.0, 1.0),    # column 11: min
+        (119.0, 10.0),   # column 11: last
+        (250.0, 50.0),   # column 25
+    ]
+
+    def _render(self, points):
+        geometry = self.GEOMETRY
+        return render_line_chart(points, geometry["width"],
+                                 geometry["height"], geometry["t_min"],
+                                 geometry["t_max"], geometry["v_min"],
+                                 geometry["v_max"])
+
+    @pytest.mark.parametrize("role", ["first", "last", "minimum", "maximum"])
+    def test_each_role_is_necessary(self, role):
+        aggregator = M4Aggregator(self.GEOMETRY["t_min"],
+                                  self.GEOMETRY["t_max"],
+                                  self.GEOMETRY["width"])
+        aggregator.insert_many(self.SERIES)
+        reference = self._render(self.SERIES)
+        # Full M4 is exact on this series.
+        assert pixel_error(self._render(aggregator.points()),
+                           reference) == 0
+        # Remove one role's tuple from the adversarial column.
+        aggregate = aggregator.column(11)
+        keep = {aggregate.first, aggregate.last, aggregate.minimum,
+                aggregate.maximum}
+        assert len(keep) == 4
+        keep.discard(getattr(aggregate, role))
+        reduced = ([p for p in aggregator.points()
+                    if not 110 <= p[0] < 120]
+                   + sorted(keep, key=lambda p: p[0]))
+        assert pixel_error(self._render(reduced), reference) > 0, \
+            "dropping %s should change the raster" % role
+
+
+class TestRateIndependence:
+    def test_retained_tuples_bounded_by_4x_width(self):
+        for rate in (100, 1000, 20000):
+            points = wavy_series(rate, seed=rate)
+            aggregator = M4Aggregator(T_MIN, T_MAX, WIDTH)
+            aggregator.insert_many(points)
+            assert aggregator.tuples_retained <= 4 * WIDTH
+
+    def test_reduction_ratio_improves_with_rate(self):
+        small = M4Aggregator(T_MIN, T_MAX, WIDTH)
+        small.insert_many(wavy_series(200))
+        large = M4Aggregator(T_MIN, T_MAX, WIDTH)
+        large.insert_many(wavy_series(20000))
+        assert large.reduction_ratio() < small.reduction_ratio()
+        assert large.reduction_ratio() < 0.01  # >100x reduction at 20k
+
+
+class TestRescale:
+    def test_downscale_matches_direct_aggregation(self):
+        points = wavy_series(2000, seed=8)
+        fine = M4Aggregator(T_MIN, T_MAX, 80)
+        fine.insert_many(points)
+        direct = M4Aggregator(T_MIN, T_MAX, 20)
+        direct.insert_many(points)
+        scaled = fine.rescale(20)
+        assert scaled.points() == direct.points()
+
+    def test_upscale_rejected(self):
+        aggregator = M4Aggregator(T_MIN, T_MAX, 20)
+        with pytest.raises(ValueError):
+            aggregator.rescale(40)
+
+
+class TestValidation:
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            M4Aggregator(0, 0, 10)
+        with pytest.raises(ValueError):
+            M4Aggregator(0, 10, 0)
+
+    def test_out_of_range_timestamp(self):
+        aggregator = M4Aggregator(0, 10, 4)
+        with pytest.raises(ValueError):
+            aggregator.insert(11, 0)
+
+
+class TestBaselineErrors:
+    """Baselines either transfer more or render wrong -- never both right."""
+
+    def test_sampling_has_pixel_error(self):
+        points = wavy_series(5000, seed=21)
+        reference = render(points)
+        sampler = NthSampler(50)  # comparable volume to M4
+        sampler.insert_many(points)
+        assert pixel_error(render(sampler.points()), reference) > 0
+
+    def test_paa_has_pixel_error(self):
+        points = wavy_series(5000, seed=22)
+        reference = render(points)
+        paa = PiecewiseAverage(T_MIN, T_MAX, WIDTH)
+        paa.insert_many(points)
+        assert pixel_error(render(paa.points()), reference) > 0
+
+    def test_minmax_cheaper_but_wrong(self):
+        points = wavy_series(5000, seed=23)
+        reference = render(points)
+        minmax = MinMaxReducer(T_MIN, T_MAX, WIDTH)
+        minmax.insert_many(points)
+        assert minmax.tuples_transferred <= 2 * WIDTH
+        assert pixel_error(render(minmax.points()), reference) > 0
+
+    def test_raw_is_exact_but_unbounded(self):
+        points = wavy_series(3000, seed=24)
+        raw = RawTransfer()
+        raw.insert_many(points)
+        assert raw.tuples_transferred == 3000
+        assert pixel_error(render(raw.points()), render(points)) == 0
+
+    def test_reservoir_respects_budget(self):
+        points = wavy_series(5000, seed=25)
+        sampler = RandomSampler(budget=100)
+        sampler.insert_many(points)
+        assert sampler.tuples_transferred == 100

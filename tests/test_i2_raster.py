@@ -1,0 +1,104 @@
+"""Unit tests for the raster model and line renderer."""
+
+import pytest
+
+from repro.i2.raster import (
+    Raster,
+    pixel_error,
+    pixel_error_rate,
+    render_line_chart,
+)
+
+
+class TestCoordinateMapping:
+    def test_column_buckets_are_half_open(self):
+        raster = Raster(10, 10, 0, 100, 0, 1)
+        assert raster.column_of(0) == 0
+        assert raster.column_of(9.99) == 0
+        assert raster.column_of(10) == 1
+        assert raster.column_of(100) == 9  # right edge joins last column
+
+    def test_out_of_range_timestamp_rejected(self):
+        raster = Raster(10, 10, 0, 100, 0, 1)
+        with pytest.raises(ValueError):
+            raster.column_of(101)
+
+    def test_values_clamped_to_rows(self):
+        raster = Raster(10, 10, 0, 100, 0, 1)
+        assert raster.row_of(-5) == 0
+        assert raster.row_of(5) == 9
+
+    def test_column_time_bounds_roundtrip(self):
+        raster = Raster(10, 10, 0, 100, 0, 1)
+        lo, hi = raster.column_time_bounds(3)
+        assert (lo, hi) == (30, 40)
+        assert raster.column_of(lo) == 3
+        assert raster.column_of(hi - 0.01) == 3
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            Raster(0, 10, 0, 1, 0, 1)
+        with pytest.raises(ValueError):
+            Raster(10, 10, 5, 5, 0, 1)
+        with pytest.raises(ValueError):
+            Raster(10, 10, 0, 1, 1, 1)
+
+
+class TestBresenham:
+    def test_horizontal_line(self):
+        raster = Raster(10, 10, 0, 10, 0, 10)
+        raster._bresenham(0, 5, 9, 5)
+        assert raster.pixels == {(x, 5) for x in range(10)}
+
+    def test_vertical_line(self):
+        raster = Raster(10, 10, 0, 10, 0, 10)
+        raster._bresenham(3, 0, 3, 9)
+        assert raster.pixels == {(3, y) for y in range(10)}
+
+    def test_diagonal(self):
+        raster = Raster(10, 10, 0, 10, 0, 10)
+        raster._bresenham(0, 0, 9, 9)
+        assert raster.pixels == {(i, i) for i in range(10)}
+
+    def test_single_point(self):
+        raster = Raster(10, 10, 0, 10, 0, 10)
+        raster._bresenham(4, 4, 4, 4)
+        assert raster.pixels == {(4, 4)}
+
+    def test_line_is_8_connected(self):
+        raster = Raster(100, 100, 0, 100, 0, 100)
+        raster._bresenham(3, 7, 91, 64)
+        pixels = sorted(raster.pixels)
+        for (x0, y0), (x1, y1) in zip(pixels, pixels[1:]):
+            assert abs(x1 - x0) <= 1 and abs(y1 - y0) <= 1 or x1 == x0
+
+
+class TestRenderAndError:
+    def test_render_sorts_points(self):
+        chart_a = render_line_chart([(0, 0), (50, 5), (100, 0)],
+                                    10, 10, 0, 100, 0, 10)
+        chart_b = render_line_chart([(100, 0), (0, 0), (50, 5)],
+                                    10, 10, 0, 100, 0, 10)
+        assert chart_a.pixels == chart_b.pixels
+
+    def test_single_point_series(self):
+        chart = render_line_chart([(50, 5)], 10, 10, 0, 100, 0, 10)
+        assert chart.pixels == {(5, 5)}
+
+    def test_pixel_error_symmetric_difference(self):
+        a = Raster(4, 4, 0, 1, 0, 1)
+        b = Raster(4, 4, 0, 1, 0, 1)
+        a.pixels = {(0, 0), (1, 1)}
+        b.pixels = {(1, 1), (2, 2)}
+        assert pixel_error(a, b) == 2
+        assert pixel_error_rate(a, b) == 1.0
+
+    def test_error_requires_same_dimensions(self):
+        with pytest.raises(ValueError):
+            pixel_error(Raster(4, 4, 0, 1, 0, 1), Raster(5, 4, 0, 1, 0, 1))
+
+    def test_identical_rasters_have_zero_error(self):
+        points = [(t, (t * 7) % 13) for t in range(100)]
+        a = render_line_chart(points, 20, 15, 0, 100, 0, 13)
+        b = render_line_chart(points, 20, 15, 0, 100, 0, 13)
+        assert pixel_error(a, b) == 0

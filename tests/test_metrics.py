@@ -1,0 +1,156 @@
+"""Unit tests for the metric primitives."""
+
+import pytest
+
+from repro.metrics import (
+    AggregationCostCounter,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricGroup,
+    ThroughputTracker,
+    merge_counter_maps,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_tracks_high_water_mark(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.max_value == 5
+
+    def test_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.inc(10)
+        gauge.dec(3)
+        assert gauge.value == 7
+        assert gauge.max_value == 10
+
+
+class TestHistogram:
+    def test_basic_statistics(self):
+        histogram = Histogram("h")
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.mean == pytest.approx(2.5)
+        assert histogram.min == 1.0
+        assert histogram.max == 4.0
+
+    def test_quantiles_on_small_sample(self):
+        histogram = Histogram("h")
+        for value in range(101):
+            histogram.observe(float(value))
+        assert histogram.quantile(0.0) == 0.0
+        assert histogram.quantile(1.0) == 100.0
+        assert histogram.quantile(0.5) == pytest.approx(50.0, abs=1)
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+    def test_reservoir_caps_memory(self):
+        histogram = Histogram("h", reservoir_size=10)
+        for value in range(1000):
+            histogram.observe(float(value))
+        assert histogram.count == 1000
+        assert len(histogram._values) == 10
+
+    def test_empty_histogram_is_safe(self):
+        histogram = Histogram("h")
+        assert histogram.mean == 0.0
+        assert histogram.quantile(0.5) == 0.0
+
+
+class TestMetricGroup:
+    def test_metrics_are_cached_by_name(self):
+        group = MetricGroup("task")
+        assert group.counter("records") is group.counter("records")
+        assert group.gauge("size") is group.gauge("size")
+
+    def test_scope_qualifies_names(self):
+        group = MetricGroup("op.0")
+        assert group.counter("records").name == "op.0.records"
+
+    def test_counters_snapshot(self):
+        group = MetricGroup()
+        group.counter("a").inc(2)
+        group.counter("b").inc(3)
+        assert group.counters() == {"a": 2, "b": 3}
+
+    def test_reset_clears_everything(self):
+        group = MetricGroup()
+        group.counter("a").inc(2)
+        group.gauge("g").set(7)
+        group.reset()
+        assert group.counters() == {"a": 0}
+        assert group.gauges() == {"g": 0}
+
+
+class TestAggregationCostCounter:
+    def test_operations_per_record(self):
+        costs = AggregationCostCounter()
+        costs.records.inc(10)
+        costs.lifts.inc(10)
+        costs.combines.inc(20)
+        costs.lowers.inc(5)
+        assert costs.total_operations == 35
+        assert costs.operations_per_record() == pytest.approx(3.5)
+
+    def test_zero_records_is_safe(self):
+        assert AggregationCostCounter().operations_per_record() == 0.0
+
+    def test_snapshot_shape(self):
+        costs = AggregationCostCounter()
+        costs.records.inc()
+        costs.lifts.inc()
+        snapshot = costs.snapshot()
+        assert snapshot["records"] == 1
+        assert snapshot["ops_per_record"] == 1.0
+        assert "max_live_partials" in snapshot
+
+    def test_partials_high_water_mark(self):
+        costs = AggregationCostCounter()
+        costs.partials.inc(5)
+        costs.partials.dec(3)
+        assert costs.max_live_partials == 5
+
+
+class TestThroughputTracker:
+    def test_records_per_second(self):
+        tracker = ThroughputTracker()
+        tracker.start(0.0)
+        tracker.record(500)
+        tracker.stop(2.0)
+        assert tracker.records_per_second() == pytest.approx(250.0)
+
+    def test_unstarted_tracker_reports_zero(self):
+        tracker = ThroughputTracker()
+        tracker.record(10)
+        assert tracker.records_per_second() == 0.0
+
+
+def test_merge_counter_maps():
+    merged = merge_counter_maps([{"a": 1, "b": 2}, {"a": 3, "c": 4}])
+    assert merged == {"a": 4, "b": 2, "c": 4}

@@ -1,0 +1,264 @@
+"""Tests for the streaming ML models and evaluation metrics."""
+
+import math
+import random
+
+import pytest
+
+from repro.ml import (
+    FTRLProximal,
+    OnlineLogisticRegression,
+    PrequentialEvaluator,
+    StreamingMatrixFactorization,
+    accuracy,
+    auc,
+    log_loss,
+    rmse,
+    sigmoid,
+)
+
+
+class TestMetrics:
+    def test_auc_perfect_ranking(self):
+        assert auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_auc_inverted_ranking(self):
+        assert auc([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9]) == 0.0
+
+    def test_auc_random_is_half(self):
+        rng = random.Random(1)
+        labels = [rng.randint(0, 1) for _ in range(2000)]
+        scores = [rng.random() for _ in range(2000)]
+        assert auc(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_auc_handles_ties(self):
+        assert auc([0, 1], [0.5, 0.5]) == 0.5
+
+    def test_auc_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            auc([1, 1], [0.1, 0.9])
+
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1, 0], [1, 0, 0, 0]) == 0.75
+
+    def test_log_loss_confident_right_vs_wrong(self):
+        right = log_loss([1], [0.99])
+        wrong = log_loss([1], [0.01])
+        assert right < 0.05 < wrong
+
+    def test_rmse(self):
+        assert rmse([1.0, 2.0], [1.0, 4.0]) == pytest.approx(math.sqrt(2))
+
+    def test_prequential_windowed_curve(self):
+        evaluator = PrequentialEvaluator()
+        for index in range(100):
+            evaluator.record(1, 0.1 if index < 50 else 0.9)
+        curve = evaluator.windowed_accuracy(50)
+        assert curve == [0.0, 1.0]
+
+
+class TestSigmoid:
+    def test_symmetry(self):
+        assert sigmoid(0) == 0.5
+        assert sigmoid(3) == pytest.approx(1 - sigmoid(-3))
+
+    def test_extreme_values_do_not_overflow(self):
+        assert sigmoid(1000) == pytest.approx(1.0)
+        assert sigmoid(-1000) == pytest.approx(0.0)
+
+
+def linearly_separable(n, seed=2):
+    rng = random.Random(seed)
+    examples = []
+    for _ in range(n):
+        x1, x2 = rng.uniform(-1, 1), rng.uniform(-1, 1)
+        label = 1 if x1 + 2 * x2 > 0 else 0
+        examples.append(({"x1": x1, "x2": x2, "bias": 1.0}, label))
+    return examples
+
+
+class TestOnlineLogisticRegression:
+    def test_learns_separable_data(self):
+        model = OnlineLogisticRegression(learning_rate=0.5)
+        evaluator = PrequentialEvaluator()
+        for features, label in linearly_separable(3000):
+            evaluator.record(label, model.update(features, label))
+        # Skip the cold start, judge the warmed-up half.
+        warm = evaluator.windowed_accuracy(1500)[-1]
+        assert warm > 0.95
+
+    def test_update_returns_pre_update_probability(self):
+        model = OnlineLogisticRegression()
+        first = model.update({"x": 1.0}, 1)
+        assert first == 0.5  # untrained model is uninformative
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineLogisticRegression().update({"x": 1.0}, 2)
+
+    def test_l2_shrinks_weights(self):
+        plain = OnlineLogisticRegression(learning_rate=0.5)
+        shrunk = OnlineLogisticRegression(learning_rate=0.5, l2=0.5)
+        for features, label in linearly_separable(500):
+            plain.update(features, label)
+            shrunk.update(features, label)
+        assert (sum(abs(w) for w in shrunk.weights.values())
+                < sum(abs(w) for w in plain.weights.values()))
+
+    def test_snapshot_restore(self):
+        model = OnlineLogisticRegression()
+        for features, label in linearly_separable(200):
+            model.update(features, label)
+        clone = OnlineLogisticRegression()
+        clone.restore(model.snapshot())
+        probe = {"x1": 0.3, "x2": 0.7, "bias": 1.0}
+        assert clone.predict_proba(probe) == model.predict_proba(probe)
+
+
+class TestFTRL:
+    def test_learns_categorical_ctr_structure(self):
+        from repro.datagen import AdStreamGenerator
+        generator = AdStreamGenerator(seed=5)
+        model = FTRLProximal(alpha=0.3, l1=0.1, l2=0.1)
+        evaluator = PrequentialEvaluator()
+        for impression in generator.impressions(6000):
+            probability = model.update(impression.features(),
+                                       impression.clicked)
+            evaluator.record(impression.clicked, probability)
+        warm_labels = evaluator.labels[3000:]
+        warm_scores = evaluator.scores[3000:]
+        assert auc(warm_labels, warm_scores) > 0.7
+
+    def test_l1_produces_sparsity(self):
+        from repro.datagen import AdStreamGenerator
+        generator = AdStreamGenerator(seed=6)
+        sparse = FTRLProximal(alpha=0.3, l1=2.0, l2=0.1)
+        dense = FTRLProximal(alpha=0.3, l1=0.0, l2=0.1)
+        for impression in generator.impressions(2000):
+            sparse.update(impression.features(), impression.clicked)
+            dense.update(impression.features(), impression.clicked)
+        assert sparse.nonzero_weights < dense.nonzero_weights
+
+    def test_snapshot_restore(self):
+        model = FTRLProximal()
+        model.update(["a", "b"], 1)
+        model.update(["a", "c"], 0)
+        clone = FTRLProximal()
+        clone.restore(model.snapshot())
+        assert clone.predict_proba(["a", "b"]) == \
+            model.predict_proba(["a", "b"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FTRLProximal(alpha=0)
+        with pytest.raises(ValueError):
+            FTRLProximal().update(["a"], 3)
+
+
+class TestStreamingMF:
+    def test_beats_global_mean_baseline(self):
+        from repro.datagen import RatingStreamGenerator
+        generator = RatingStreamGenerator(num_users=50, num_items=40,
+                                          noise=0.2, seed=8)
+        model = StreamingMatrixFactorization(factors=8, learning_rate=0.05,
+                                             seed=8)
+        truth, model_predictions, mean_predictions = [], [], []
+        running_sum, running_count = 0.0, 0
+        for rating in generator.ratings(20000):
+            mean_predictions.append(
+                running_sum / running_count if running_count else 3.5)
+            model_predictions.append(model.update(rating.user, rating.item,
+                                                  rating.value))
+            truth.append(rating.value)
+            running_sum += rating.value
+            running_count += 1
+        # Judge the warmed-up second half.
+        half = len(truth) // 2
+        model_rmse = rmse(truth[half:], model_predictions[half:])
+        mean_rmse = rmse(truth[half:], mean_predictions[half:])
+        assert model_rmse < mean_rmse * 0.9
+
+    def test_recommend_ranks_by_prediction(self):
+        model = StreamingMatrixFactorization(factors=2, seed=1)
+        for _ in range(50):
+            model.update("alice", "good", 5.0)
+            model.update("alice", "bad", 1.0)
+        top = model.recommend("alice", ["good", "bad"], top_k=1)
+        assert top[0][0] == "good"
+
+    def test_recommend_excludes_seen(self):
+        model = StreamingMatrixFactorization(seed=1)
+        model.update("u", "a", 5.0)
+        top = model.recommend("u", ["a", "b"], exclude={"a"})
+        assert [item for item, _ in top] == ["b"]
+
+    def test_snapshot_restore(self):
+        model = StreamingMatrixFactorization(factors=3, seed=2)
+        model.update("u", "i", 4.0)
+        clone = StreamingMatrixFactorization(factors=3, seed=99)
+        clone.restore(model.snapshot())
+        assert clone.predict("u", "i") == model.predict("u", "i")
+
+    def test_cold_start_uses_global_mean(self):
+        model = StreamingMatrixFactorization(global_mean_prior=3.0)
+        assert model.predict("nobody", "nothing") == 3.0
+
+
+class TestALSRecommender:
+    def _split(self, n=8000, seed=21):
+        from repro.datagen import RatingStreamGenerator
+        generator = RatingStreamGenerator(num_users=60, num_items=50,
+                                          noise=0.2, seed=seed)
+        ratings = [(r.user, r.item, r.value)
+                   for r in generator.ratings(n)]
+        cut = int(n * 0.8)
+        return ratings[:cut], ratings[cut:], generator
+
+    def test_beats_global_mean_on_held_out_data(self):
+        from repro.ml.als import ALSRecommender
+        train, test, _ = self._split()
+        model = ALSRecommender(factors=8, regularization=0.1,
+                               iterations=8, seed=21).fit(train)
+        mean = sum(v for _, _, v in train) / len(train)
+        import math
+        mean_rmse = math.sqrt(sum((v - mean) ** 2
+                                  for _, _, v in test) / len(test))
+        assert model.rmse(test) < mean_rmse * 0.9
+
+    def test_batch_beats_single_pass_streaming(self):
+        """The batch layer's advantage: multiple passes over history."""
+        from repro.ml.als import ALSRecommender
+        train, test, _ = self._split()
+        als = ALSRecommender(factors=8, iterations=10, seed=21).fit(train)
+        streaming = StreamingMatrixFactorization(factors=8,
+                                                 learning_rate=0.04,
+                                                 seed=21)
+        for user, item, value in train:
+            streaming.update(user, item, value)
+        streaming_rmse = rmse([v for _, _, v in test],
+                              [streaming.predict(u, i)
+                               for u, i, _ in test])
+        assert als.rmse(test) <= streaming_rmse * 1.05
+
+    def test_cold_start_falls_back_to_means(self):
+        from repro.ml.als import ALSRecommender
+        model = ALSRecommender(factors=2, iterations=2).fit(
+            [("u1", "i1", 4.0), ("u1", "i2", 2.0), ("u2", "i1", 5.0)])
+        # Unknown user and item: global mean.
+        assert model.predict("ghost", "phantom") == \
+            pytest.approx(model.global_mean)
+
+    def test_recommend_ranks(self):
+        from repro.ml.als import ALSRecommender
+        ratings = ([("u", "good", 5.0)] * 3 + [("u", "bad", 1.0)] * 3
+                   + [("v", "good", 5.0), ("v", "bad", 1.0)])
+        model = ALSRecommender(factors=2, iterations=5).fit(ratings)
+        top = model.recommend("u", ["good", "bad"], top_k=1)
+        assert top[0][0] == "good"
+
+    def test_validation(self):
+        from repro.ml.als import ALSRecommender
+        with pytest.raises(ValueError):
+            ALSRecommender(factors=0)
+        with pytest.raises(ValueError):
+            ALSRecommender().fit([])

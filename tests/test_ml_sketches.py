@@ -1,0 +1,212 @@
+"""Tests for sketches, heavy hitters, exponential histograms, text and
+language identification."""
+
+import random
+
+import pytest
+
+from repro.ml import (
+    BloomFilter,
+    CountMinSketch,
+    ExponentialHistogram,
+    LanguageIdentifier,
+    SpaceSaving,
+    char_ngrams,
+    remove_stopwords,
+    term_frequencies,
+    tokenize,
+)
+from repro.datagen import ZipfSampler
+
+
+class TestCountMin:
+    def test_never_underestimates(self):
+        sketch = CountMinSketch(width=64, depth=4)
+        truth = {}
+        rng = random.Random(3)
+        for _ in range(5000):
+            key = "k%d" % rng.randint(0, 200)
+            sketch.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    def test_guarantee_construction(self):
+        sketch = CountMinSketch.with_guarantees(eps=0.01, delta=0.01)
+        assert sketch.width >= 271
+        assert sketch.depth >= 4
+
+    def test_error_bounded_for_reasonable_width(self):
+        sketch = CountMinSketch.with_guarantees(eps=0.005, delta=0.01)
+        sampler = ZipfSampler(1000, seed=9)
+        truth = {}
+        for key in sampler.sample_many(20000):
+            sketch.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        overestimates = [sketch.estimate(key) - count
+                         for key, count in truth.items()]
+        # eps * N bound, with delta slack: check the 99th percentile.
+        overestimates.sort()
+        p99 = overestimates[int(len(overestimates) * 0.99)]
+        assert p99 <= 0.005 * sketch.total * 2
+
+    def test_merge(self):
+        a = CountMinSketch(width=64, depth=3)
+        b = CountMinSketch(width=64, depth=3)
+        a.add("x", 5)
+        b.add("x", 7)
+        assert a.merge(b).estimate("x") >= 12
+
+    def test_merge_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(64, 3).merge(CountMinSketch(32, 3))
+
+
+class TestBloom:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter.for_capacity(1000, fp_rate=0.01)
+        keys = ["item-%d" % i for i in range(1000)]
+        for key in keys:
+            bloom.add(key)
+        assert all(bloom.might_contain(key) for key in keys)
+
+    def test_false_positive_rate_in_ballpark(self):
+        bloom = BloomFilter.for_capacity(1000, fp_rate=0.01)
+        for i in range(1000):
+            bloom.add("in-%d" % i)
+        false_positives = sum(
+            1 for i in range(10000) if bloom.might_contain("out-%d" % i))
+        assert false_positives / 10000 < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity(0)
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity(10, fp_rate=2.0)
+
+
+class TestSpaceSaving:
+    def test_finds_true_heavy_hitters(self):
+        sampler = ZipfSampler(10000, exponent=1.3, seed=4)
+        summary = SpaceSaving(capacity=100)
+        truth = {}
+        for key in sampler.sample_many(50000):
+            summary.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        true_top10 = sorted(truth, key=lambda k: -truth[k])[:10]
+        reported = {hitter.key for hitter in summary.top(20)}
+        assert set(true_top10) <= reported
+
+    def test_counts_are_overestimates_with_bounded_error(self):
+        summary = SpaceSaving(capacity=10)
+        rng = random.Random(6)
+        truth = {}
+        for _ in range(2000):
+            key = rng.randint(0, 50)
+            summary.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        for hitter in summary.top(10):
+            true_count = truth.get(hitter.key, 0)
+            assert hitter.count >= true_count
+            assert hitter.guaranteed <= true_count
+
+    def test_capacity_is_respected(self):
+        summary = SpaceSaving(capacity=5)
+        for key in range(100):
+            summary.add(key)
+        assert len(summary) == 5
+
+    def test_merge(self):
+        a, b = SpaceSaving(10), SpaceSaving(10)
+        for _ in range(50):
+            a.add("hot")
+        for _ in range(30):
+            b.add("hot")
+        merged = a.merge(b)
+        assert merged.estimate("hot") == 80
+
+
+class TestExponentialHistogram:
+    def test_relative_error_bounded(self):
+        histogram = ExponentialHistogram(window=1000, eps=0.1)
+        for ts in range(0, 5000, 2):  # one event every 2 time units
+            histogram.add(ts)
+            true_count = min(ts // 2 + 1, 500)
+            estimate = histogram.estimate(ts)
+            assert abs(estimate - true_count) <= max(1, 0.15 * true_count)
+
+    def test_space_is_logarithmic(self):
+        histogram = ExponentialHistogram(window=10**6, eps=0.1)
+        for ts in range(0, 100000, 1):
+            histogram.add(ts)
+        # 100k events in window, but only O(k log N) buckets.
+        assert histogram.num_buckets < 200
+
+    def test_expiry(self):
+        histogram = ExponentialHistogram(window=100, eps=0.1)
+        histogram.add(0)
+        histogram.add(50)
+        assert histogram.estimate(500) == 0
+
+    def test_rejects_time_travel(self):
+        histogram = ExponentialHistogram(window=100)
+        histogram.add(50)
+        with pytest.raises(ValueError):
+            histogram.add(10)
+
+
+class TestText:
+    def test_tokenize(self):
+        assert tokenize("Hello, World! 42 times") == ["hello", "world",
+                                                      "times"]
+
+    def test_stopword_removal(self):
+        tokens = tokenize("the cat and the hat")
+        assert remove_stopwords(tokens, "en") == ["cat", "hat"]
+
+    def test_term_frequencies(self):
+        assert term_frequencies(["a", "b", "a"]) == {"a": 2, "b": 1}
+
+    def test_char_ngrams(self):
+        grams = char_ngrams("ab", n=2)
+        assert " a" in grams and "ab" in grams and "b " in grams
+
+
+class TestLanguageIdentifier:
+    def test_identifies_seed_languages(self):
+        identifier = LanguageIdentifier()
+        assert identifier.identify(
+            "the people think this is a good day") == "en"
+        assert identifier.identify(
+            "die leute denken dass dies ein guter tag ist") == "de"
+        assert identifier.identify(
+            "les gens pensent que c'est une bonne journée") == "fr"
+
+    def test_online_learning_adds_language(self):
+        identifier = LanguageIdentifier(pretrained=False)
+        identifier.learn("aaa bbb aaa ccc aaa", "aaaish")
+        identifier.learn("xxx yyy zzz xxx yyy", "xyzish")
+        assert identifier.identify("aaa aaa bbb") == "aaaish"
+        assert identifier.identify("zzz xxx yyy") == "xyzish"
+
+    def test_confidence_margin(self):
+        identifier = LanguageIdentifier()
+        language, confidence = identifier.identify_with_confidence(
+            "the quick brown fox jumps over the lazy dog")
+        assert language == "en"
+        assert 0.0 <= confidence <= 1.0
+
+    def test_untrained_identifier_rejected(self):
+        with pytest.raises(RuntimeError):
+            LanguageIdentifier(pretrained=False).identify("hello")
+
+    def test_stream_accuracy_on_generated_documents(self):
+        from repro.datagen import DocumentStreamGenerator
+        generator = DocumentStreamGenerator(words_per_doc=25, seed=2)
+        identifier = LanguageIdentifier()
+        correct = total = 0
+        for document in generator.documents(200):
+            total += 1
+            if identifier.identify(document.text) == document.language:
+                correct += 1
+        assert correct / total > 0.9

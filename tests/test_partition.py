@@ -1,0 +1,76 @@
+"""Unit tests for partitioners and the stable key hash."""
+
+from repro.runtime.elements import Record
+from repro.runtime.partition import (
+    BroadcastPartitioner,
+    ForwardPartitioner,
+    GlobalPartitioner,
+    HashPartitioner,
+    RebalancePartitioner,
+    hash_key,
+)
+
+
+class TestHashKey:
+    def test_stable_for_strings(self):
+        # FNV-1a reference value stability (guards against PYTHONHASHSEED).
+        assert hash_key("user-42") == hash_key("user-42")
+        assert hash_key("a") != hash_key("b")
+
+    def test_bytes_and_str_agree(self):
+        assert hash_key("abc") == hash_key(b"abc")
+
+    def test_tuples(self):
+        assert hash_key(("a", 1)) == hash_key(("a", 1))
+        assert hash_key(("a", 1)) != hash_key(("a", 2))
+
+    def test_integers_pass_through(self):
+        assert hash_key(7) == hash(7)
+
+
+class TestForward:
+    def test_routes_to_same_index(self):
+        partitioner = ForwardPartitioner()
+        assert partitioner.select(Record(1), 4, 2) == (2,)
+        assert partitioner.is_pointwise
+
+
+class TestHash:
+    def test_same_key_same_channel(self):
+        partitioner = HashPartitioner(lambda v: v["user"])
+        record_a = Record({"user": "u1"})
+        record_b = Record({"user": "u1"})
+        assert (partitioner.select(record_a, 8, 0)
+                == partitioner.select(record_b, 8, 3))
+        assert not partitioner.is_pointwise
+
+    def test_select_does_not_mutate_record(self):
+        partitioner = HashPartitioner(lambda v: v)
+        record = Record("k")
+        partitioner.select(record, 4, 0)
+        assert record.key is None
+
+    def test_distributes_across_channels(self):
+        partitioner = HashPartitioner(lambda v: v)
+        channels = {partitioner.select(Record("key-%d" % i), 4, 0)[0]
+                    for i in range(100)}
+        assert len(channels) == 4  # all channels used for 100 distinct keys
+
+
+class TestRebalance:
+    def test_round_robin(self):
+        partitioner = RebalancePartitioner()
+        selections = [partitioner.select(Record(i), 3, 0)[0] for i in range(6)]
+        assert selections == [0, 1, 2, 0, 1, 2]
+
+
+class TestBroadcast:
+    def test_all_channels(self):
+        partitioner = BroadcastPartitioner()
+        assert partitioner.select(Record(1), 3, 0) == (0, 1, 2)
+
+
+class TestGlobal:
+    def test_always_channel_zero(self):
+        partitioner = GlobalPartitioner()
+        assert partitioner.select(Record(1), 5, 4) == (0,)

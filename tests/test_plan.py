@@ -1,0 +1,163 @@
+"""Unit tests for the StreamGraph, validation, chaining and explain."""
+
+import pytest
+
+from repro.plan import (
+    GraphValidationError,
+    StreamGraph,
+    build_job_graph,
+    explain_job_graph,
+    explain_stream_graph,
+)
+from repro.runtime.operators import MapOperator
+from repro.runtime.partition import (
+    ForwardPartitioner,
+    HashPartitioner,
+    RebalancePartitioner,
+)
+
+
+def map_factory():
+    return MapOperator(lambda v: v)
+
+
+def linear_graph(parallelism=2):
+    """source -> map -> map -> sink, all forward edges."""
+    graph = StreamGraph()
+    source = graph.new_node("src", map_factory, parallelism, is_source=True)
+    map1 = graph.new_node("m1", map_factory, parallelism)
+    map2 = graph.new_node("m2", map_factory, parallelism)
+    sink = graph.new_node("sink", map_factory, parallelism, is_sink=True)
+    graph.add_edge(source.node_id, map1.node_id, ForwardPartitioner())
+    graph.add_edge(map1.node_id, map2.node_id, ForwardPartitioner())
+    graph.add_edge(map2.node_id, sink.node_id, ForwardPartitioner())
+    return graph
+
+
+class TestValidation:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphValidationError):
+            StreamGraph().validate()
+
+    def test_no_sources_rejected(self):
+        graph = StreamGraph()
+        graph.new_node("lonely", map_factory, 1)
+        with pytest.raises(GraphValidationError):
+            graph.validate()
+
+    def test_orphan_operator_rejected(self):
+        graph = StreamGraph()
+        graph.new_node("src", map_factory, 1, is_source=True)
+        graph.new_node("orphan", map_factory, 1)
+        with pytest.raises(GraphValidationError):
+            graph.validate()
+
+    def test_cycle_rejected(self):
+        graph = StreamGraph()
+        a = graph.new_node("a", map_factory, 1, is_source=True)
+        b = graph.new_node("b", map_factory, 1)
+        graph.add_edge(a.node_id, b.node_id, ForwardPartitioner())
+        graph.add_edge(b.node_id, a.node_id, ForwardPartitioner())
+        with pytest.raises(GraphValidationError):
+            graph.validate()
+
+    def test_edge_to_unknown_node_rejected(self):
+        graph = StreamGraph()
+        a = graph.new_node("a", map_factory, 1, is_source=True)
+        with pytest.raises(GraphValidationError):
+            graph.add_edge(a.node_id, 99, ForwardPartitioner())
+
+    def test_invalid_parallelism_rejected(self):
+        graph = StreamGraph()
+        with pytest.raises(ValueError):
+            graph.new_node("bad", map_factory, 0)
+
+    def test_topological_order(self):
+        graph = linear_graph()
+        names = [n.name for n in graph.topological_order()]
+        assert names == ["src", "m1", "m2", "sink"]
+
+
+class TestChaining:
+    def test_full_linear_chain_fuses_to_one_vertex(self):
+        job_graph = build_job_graph(linear_graph(), chaining=True)
+        assert len(job_graph.vertices) == 1
+        vertex = next(iter(job_graph.vertices.values()))
+        assert vertex.chain_length == 4
+        assert vertex.name == "src -> m1 -> m2 -> sink"
+        assert job_graph.edges == []
+
+    def test_chaining_disabled_keeps_all_vertices(self):
+        job_graph = build_job_graph(linear_graph(), chaining=False)
+        assert len(job_graph.vertices) == 4
+        assert len(job_graph.edges) == 3
+        assert job_graph.total_chained_operators() == 4
+
+    def test_hash_edge_breaks_chain(self):
+        graph = StreamGraph()
+        source = graph.new_node("src", map_factory, 2, is_source=True)
+        keyed = graph.new_node("keyed", map_factory, 2)
+        graph.add_edge(source.node_id, keyed.node_id,
+                       HashPartitioner(lambda v: v))
+        job_graph = build_job_graph(graph)
+        assert len(job_graph.vertices) == 2
+        assert len(job_graph.edges) == 1
+
+    def test_parallelism_change_breaks_chain(self):
+        graph = StreamGraph()
+        source = graph.new_node("src", map_factory, 2, is_source=True)
+        narrow = graph.new_node("narrow", map_factory, 1)
+        graph.add_edge(source.node_id, narrow.node_id,
+                       RebalancePartitioner())
+        job_graph = build_job_graph(graph)
+        assert len(job_graph.vertices) == 2
+
+    def test_fan_out_breaks_chain(self):
+        graph = StreamGraph()
+        source = graph.new_node("src", map_factory, 1, is_source=True)
+        left = graph.new_node("left", map_factory, 1)
+        right = graph.new_node("right", map_factory, 1)
+        graph.add_edge(source.node_id, left.node_id, ForwardPartitioner())
+        graph.add_edge(source.node_id, right.node_id, ForwardPartitioner())
+        job_graph = build_job_graph(graph)
+        # Source cannot chain (two outputs); left/right are separate heads.
+        assert len(job_graph.vertices) == 3
+        assert len(job_graph.edges) == 2
+
+    def test_fan_in_breaks_chain(self):
+        graph = StreamGraph()
+        a = graph.new_node("a", map_factory, 1, is_source=True)
+        b = graph.new_node("b", map_factory, 1, is_source=True)
+        merge = graph.new_node("merge", map_factory, 1)
+        graph.add_edge(a.node_id, merge.node_id, ForwardPartitioner())
+        graph.add_edge(b.node_id, merge.node_id, ForwardPartitioner())
+        job_graph = build_job_graph(graph)
+        assert len(job_graph.vertices) == 3
+
+    def test_no_chaining_flag_respected(self):
+        graph = StreamGraph()
+        source = graph.new_node("src", map_factory, 1, is_source=True)
+        stubborn = graph.new_node("stubborn", map_factory, 1,
+                                  allow_chaining=False)
+        graph.add_edge(source.node_id, stubborn.node_id, ForwardPartitioner())
+        job_graph = build_job_graph(graph)
+        assert len(job_graph.vertices) == 2
+
+    def test_two_input_edge_never_chained(self):
+        graph = StreamGraph()
+        a = graph.new_node("a", map_factory, 1, is_source=True)
+        join = graph.new_node("join", map_factory, 1)
+        graph.add_edge(a.node_id, join.node_id, ForwardPartitioner(),
+                       target_input=1)
+        job_graph = build_job_graph(graph)
+        assert len(job_graph.vertices) == 2
+        assert job_graph.edges[0].target_input == 1
+
+
+class TestExplain:
+    def test_explain_renders_both_plans(self):
+        graph = linear_graph()
+        logical = explain_stream_graph(graph)
+        physical = explain_job_graph(build_job_graph(graph))
+        assert "src" in logical and "forward" in logical
+        assert "chain=4" in physical

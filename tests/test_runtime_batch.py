@@ -1,0 +1,170 @@
+"""Direct unit tests for the blocking (batch) operators, including their
+checkpoint snapshot/restore behaviour."""
+
+import pytest
+
+from repro.runtime.batch import (
+    CountOperator,
+    DistinctOperator,
+    FoldAllOperator,
+    GroupReduceOperator,
+    HashJoinOperator,
+    SortOperator,
+)
+from repro.runtime.elements import Record
+
+
+class Harness:
+    """Minimal operator driver: collects emissions."""
+
+    def __init__(self, operator):
+        self.operator = operator
+        self.emitted = []
+        operator.ctx = self
+        # OperatorContext protocol subset used by batch operators:
+        self.backend = type("B", (), {"current_key": None})()
+
+    def emit(self, value, timestamp=None):
+        self.emitted.append(value)
+
+    def emit_record(self, record):
+        self.emitted.append(record.value)
+
+    def feed(self, values):
+        for value in values:
+            self.operator.process(Record(value))
+        return self
+
+    def feed2(self, values):
+        for value in values:
+            self.operator.process2(Record(value))
+        return self
+
+    def finish(self):
+        self.operator.finish()
+        return self.emitted
+
+
+class TestGroupReduce:
+    def test_one_result_per_key_at_finish(self):
+        harness = Harness(GroupReduceOperator(
+            key_selector=lambda v: v[0],
+            reduce_fn=lambda key, values: (key, sum(v[1] for v in values))))
+        harness.feed([("a", 1), ("b", 5), ("a", 2)])
+        assert harness.operator.ctx.emitted == []
+        results = harness.finish()
+        assert sorted(results) == [("a", 3), ("b", 5)]
+
+    def test_snapshot_restore_midway(self):
+        operator = GroupReduceOperator(lambda v: v, lambda k, vs: (k, len(vs)))
+        harness = Harness(operator)
+        harness.feed(["x", "x", "y"])
+        state = operator.snapshot_state()
+
+        fresh = GroupReduceOperator(lambda v: v, lambda k, vs: (k, len(vs)))
+        fresh_harness = Harness(fresh)
+        fresh.restore_state(state)
+        fresh_harness.feed(["x"])
+        assert sorted(fresh_harness.finish()) == [("x", 3), ("y", 1)]
+
+    def test_state_cleared_after_finish(self):
+        operator = GroupReduceOperator(lambda v: v, lambda k, vs: k)
+        harness = Harness(operator)
+        harness.feed([1])
+        harness.finish()
+        assert operator.snapshot_state() == {}
+
+
+class TestSortOperator:
+    def test_sorts_at_finish(self):
+        harness = Harness(SortOperator())
+        harness.feed([3, 1, 2])
+        assert harness.finish() == [1, 2, 3]
+
+    def test_descending_with_key(self):
+        harness = Harness(SortOperator(key_fn=len, descending=True))
+        harness.feed(["aa", "a", "aaa"])
+        assert harness.finish() == ["aaa", "aa", "a"]
+
+    def test_snapshot_restore(self):
+        operator = SortOperator()
+        Harness(operator).feed([5, 1])
+        state = operator.snapshot_state()
+        fresh = SortOperator()
+        harness = Harness(fresh)
+        fresh.restore_state(state)
+        harness.feed([3])
+        assert harness.finish() == [1, 3, 5]
+
+
+class TestDistinct:
+    def test_first_seen_order(self):
+        harness = Harness(DistinctOperator())
+        harness.feed([3, 1, 3, 2, 1])
+        assert harness.finish() == [3, 1, 2]
+
+    def test_key_fn(self):
+        harness = Harness(DistinctOperator(key_fn=lambda s: s[0]))
+        harness.feed(["apple", "avocado", "pear"])
+        assert harness.finish() == ["apple", "pear"]
+
+
+class TestHashJoin:
+    def test_joins_on_finish(self):
+        operator = HashJoinOperator(left_key=lambda v: v[0],
+                                    right_key=lambda v: v[0],
+                                    join_fn=lambda l, r: (l[1], r[1]))
+        harness = Harness(operator)
+        harness.feed([("k", "L1"), ("j", "L2")])
+        harness.feed2([("k", "R1"), ("k", "R2"), ("z", "R3")])
+        assert sorted(harness.finish()) == [("L1", "R1"), ("L1", "R2")]
+
+    def test_snapshot_restore(self):
+        operator = HashJoinOperator(lambda v: v, lambda v: v)
+        harness = Harness(operator)
+        harness.feed(["a"])
+        harness.feed2(["a"])
+        state = operator.snapshot_state()
+        fresh = HashJoinOperator(lambda v: v, lambda v: v)
+        fresh_harness = Harness(fresh)
+        fresh.restore_state(state)
+        assert fresh_harness.finish() == [("a", "a")]
+
+    def test_rescale_splits_both_sides_by_key_hash(self):
+        operator = HashJoinOperator(lambda v: v, lambda v: v)
+        states = [{"left": {"a": ["a"], "b": ["b"]},
+                   "right": ["a", "b", "b"]}]
+        merged = {}
+        for index in range(2):
+            part = operator.rescale_operator_state(states, index, 2)
+            for key, values in part["left"].items():
+                merged.setdefault("left", {})[key] = values
+            merged.setdefault("right", []).extend(part["right"])
+        assert merged["left"] == {"a": ["a"], "b": ["b"]}
+        assert sorted(merged["right"]) == ["a", "b", "b"]
+
+
+class TestCountAndFold:
+    def test_count(self):
+        harness = Harness(CountOperator())
+        harness.feed(range(7))
+        assert harness.finish() == [7]
+
+    def test_fold_all(self):
+        harness = Harness(FoldAllOperator(0, lambda acc, v: acc + v))
+        harness.feed([1, 2, 3])
+        assert harness.finish() == [6]
+
+    def test_fold_snapshot_restore(self):
+        operator = FoldAllOperator(0, lambda acc, v: acc + v)
+        Harness(operator).feed([10])
+        state = operator.snapshot_state()
+        fresh = FoldAllOperator(0, lambda acc, v: acc + v)
+        harness = Harness(fresh)
+        fresh.restore_state(state)
+        harness.feed([5])
+        assert harness.finish() == [15]
+
+    def test_fold_emits_initial_on_empty_input(self):
+        harness = Harness(FoldAllOperator(42, lambda acc, v: acc))
+        assert harness.finish() == [42]

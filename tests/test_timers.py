@@ -1,0 +1,87 @@
+"""Unit tests for timer queues and the timer service."""
+
+from repro.time.timers import TimerQueue, TimerService
+from repro.windowing.windows import TimeWindow
+
+
+class TestTimerQueue:
+    def test_pop_due_in_timestamp_order(self):
+        queue = TimerQueue()
+        queue.register(30, "a", None)
+        queue.register(10, "b", None)
+        queue.register(20, "c", None)
+        due = queue.pop_due(25)
+        assert [entry[0] for entry in due] == [10, 20]
+        assert len(queue) == 1
+
+    def test_duplicate_registration_is_noop(self):
+        queue = TimerQueue()
+        assert queue.register(10, "a", "w")
+        assert not queue.register(10, "a", "w")
+        assert len(queue) == 1
+
+    def test_lazy_delete(self):
+        queue = TimerQueue()
+        queue.register(10, "a", None)
+        assert queue.delete(10, "a", None)
+        assert not queue.delete(10, "a", None)
+        assert queue.pop_due(100) == []
+
+    def test_heterogeneous_keys_and_namespaces(self):
+        # Keys/namespaces of incomparable types must not break heap order.
+        queue = TimerQueue()
+        queue.register(10, ("a", 1), TimeWindow(0, 10))
+        queue.register(10, "b", ("cleanup", TimeWindow(0, 10)))
+        queue.register(10, 3, None)
+        assert len(queue.pop_due(10)) == 3
+
+    def test_peek_skips_deleted(self):
+        queue = TimerQueue()
+        queue.register(10, "a", None)
+        queue.register(20, "b", None)
+        queue.delete(10, "a", None)
+        assert queue.peek_timestamp() == 20
+
+    def test_peek_empty_sentinel(self):
+        assert TimerQueue().peek_timestamp() == 2**62
+
+    def test_snapshot_restore_roundtrip(self):
+        queue = TimerQueue()
+        queue.register(30, "a", "x")
+        queue.register(10, "b", "y")
+        snapshot = queue.snapshot()
+        restored = TimerQueue()
+        restored.restore(snapshot)
+        assert [e[0] for e in restored.pop_due(100)] == [10, 30]
+
+    def test_pop_due_returns_timers_registered_during_same_watermark(self):
+        queue = TimerQueue()
+        queue.register(10, "a", None)
+        assert queue.pop_due(15) == [(10, "a", None)]
+        # Re-registration after pop works (not deduped against history).
+        assert queue.register(10, "a", None)
+
+
+class TestTimerService:
+    def test_event_and_processing_queues_are_independent(self):
+        service = TimerService()
+        service.register_event_time_timer(10, "k")
+        service.register_processing_time_timer(20, "k")
+        assert len(service.event_time) == 1
+        assert len(service.processing_time) == 1
+
+    def test_snapshot_restore(self):
+        service = TimerService()
+        service.register_event_time_timer(10, "k", "ns")
+        service.register_processing_time_timer(5, "k2")
+        state = service.snapshot()
+        restored = TimerService()
+        restored.restore(state)
+        assert restored.event_time.pop_due(10) == [(10, "k", "ns")]
+        assert restored.processing_time.pop_due(10) == [(5, "k2", None)]
+
+    def test_delete_event_timer(self):
+        service = TimerService()
+        service.register_event_time_timer(10, "k", "ns")
+        service.delete_event_time_timer(10, "k", "ns")
+        assert service.event_time.pop_due(100) == []

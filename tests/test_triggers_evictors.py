@@ -1,0 +1,125 @@
+"""Unit tests for triggers and evictors (isolated from the operator)."""
+
+import pytest
+
+from repro.windowing import (
+    CountEvictor,
+    CountTrigger,
+    EventTimeTrigger,
+    ProcessingTimeTrigger,
+    PurgingTrigger,
+    TimeEvictor,
+    TimeWindow,
+    TriggerContext,
+    TriggerResult,
+)
+
+
+class RecordingTriggerContext(TriggerContext):
+    def __init__(self):
+        self.event_timers = []
+        self.deleted = []
+        self.processing_timers = []
+        super().__init__(
+            register_event_timer=self.event_timers.append,
+            delete_event_timer=self.deleted.append,
+            register_processing_timer=self.processing_timers.append,
+            trigger_state={},
+        )
+
+
+class TestEventTimeTrigger:
+    def test_registers_timer_at_max_timestamp(self):
+        trigger = EventTimeTrigger()
+        ctx = RecordingTriggerContext()
+        window = TimeWindow(0, 100)
+        result = trigger.on_element("v", 5, window, ctx)
+        assert result == TriggerResult.CONTINUE
+        assert ctx.event_timers == [99]
+
+    def test_fires_only_at_or_after_max_timestamp(self):
+        trigger = EventTimeTrigger()
+        ctx = RecordingTriggerContext()
+        window = TimeWindow(0, 100)
+        assert trigger.on_event_time(50, window, ctx) == TriggerResult.CONTINUE
+        assert trigger.on_event_time(99, window, ctx) == TriggerResult.FIRE
+
+    def test_clear_deletes_timer(self):
+        trigger = EventTimeTrigger()
+        ctx = RecordingTriggerContext()
+        trigger.clear(TimeWindow(0, 100), ctx)
+        assert ctx.deleted == [99]
+
+
+class TestProcessingTimeTrigger:
+    def test_fire_and_purge_at_deadline(self):
+        trigger = ProcessingTimeTrigger()
+        ctx = RecordingTriggerContext()
+        window = TimeWindow(0, 10)
+        trigger.on_element("v", 1, window, ctx)
+        assert ctx.processing_timers == [9]
+        assert (trigger.on_processing_time(9, window, ctx)
+                == TriggerResult.FIRE_AND_PURGE)
+
+
+class TestCountTrigger:
+    def test_fires_every_n_elements(self):
+        trigger = CountTrigger(3)
+        ctx = RecordingTriggerContext()
+        window = object()
+        results = [trigger.on_element(i, 0, window, ctx) for i in range(6)]
+        assert results == [TriggerResult.CONTINUE, TriggerResult.CONTINUE,
+                           TriggerResult.FIRE_AND_PURGE,
+                           TriggerResult.CONTINUE, TriggerResult.CONTINUE,
+                           TriggerResult.FIRE_AND_PURGE]
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            CountTrigger(0)
+
+
+class TestPurgingTrigger:
+    def test_upgrades_fire(self):
+        trigger = PurgingTrigger.of(EventTimeTrigger())
+        ctx = RecordingTriggerContext()
+        window = TimeWindow(0, 10)
+        assert (trigger.on_event_time(9, window, ctx)
+                == TriggerResult.FIRE_AND_PURGE)
+
+    def test_leaves_continue_alone(self):
+        trigger = PurgingTrigger.of(EventTimeTrigger())
+        ctx = RecordingTriggerContext()
+        assert (trigger.on_event_time(1, TimeWindow(0, 10), ctx)
+                == TriggerResult.CONTINUE)
+
+
+class TestTriggerResult:
+    def test_flags(self):
+        assert TriggerResult.FIRE.fires and not TriggerResult.FIRE.purges
+        assert TriggerResult.FIRE_AND_PURGE.fires
+        assert TriggerResult.FIRE_AND_PURGE.purges
+        assert TriggerResult.PURGE.purges and not TriggerResult.PURGE.fires
+        assert not TriggerResult.CONTINUE.fires
+
+
+class TestCountEvictor:
+    def test_keeps_last_n(self):
+        evictor = CountEvictor.of(2)
+        elements = [(1, 10), (2, 20), (3, 30)]
+        assert evictor.evict_before(elements, None, 0) == [(2, 20), (3, 30)]
+
+    def test_short_buffer_untouched(self):
+        evictor = CountEvictor.of(5)
+        elements = [(1, 10)]
+        assert evictor.evict_before(elements, None, 0) == [(1, 10)]
+
+
+class TestTimeEvictor:
+    def test_drops_elements_older_than_window(self):
+        evictor = TimeEvictor.of(15)
+        elements = [(1, 0), (2, 10), (3, 20)]
+        # newest=20, cutoff=5: element at ts 0 dropped
+        assert evictor.evict_before(elements, None, 0) == [(2, 10), (3, 20)]
+
+    def test_empty(self):
+        assert TimeEvictor.of(10).evict_before([], None, 0) == []

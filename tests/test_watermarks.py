@@ -1,0 +1,69 @@
+"""Unit tests for watermark strategies and generators."""
+
+from repro.runtime.elements import MIN_TIMESTAMP
+from repro.time.watermarks import (
+    BoundedOutOfOrdernessGenerator,
+    PunctuatedGenerator,
+    WatermarkStrategy,
+)
+
+
+class TestBoundedOutOfOrderness:
+    def test_tracks_max_seen_minus_bound(self):
+        generator = BoundedOutOfOrdernessGenerator(5)
+        generator.on_event(None, 100)
+        assert generator.on_periodic() == 95
+        generator.on_event(None, 90)  # out-of-order: max unchanged
+        assert generator.on_periodic() == 95
+        generator.on_event(None, 120)
+        assert generator.on_periodic() == 115
+
+    def test_silent_before_first_event(self):
+        assert BoundedOutOfOrdernessGenerator(5).on_periodic() is None
+
+    def test_zero_bound_is_monotonic(self):
+        generator = BoundedOutOfOrdernessGenerator(0)
+        generator.on_event(None, 7)
+        assert generator.on_periodic() == 7
+
+    def test_negative_bound_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            BoundedOutOfOrdernessGenerator(-1)
+
+
+class TestPunctuated:
+    def test_emits_only_on_punctuation(self):
+        generator = PunctuatedGenerator(lambda v: v == "MARK")
+        assert generator.on_event("data", 10) is None
+        assert generator.on_event("MARK", 20) == 20
+        assert generator.on_periodic() is None
+
+    def test_custom_extractor(self):
+        generator = PunctuatedGenerator(
+            lambda v: isinstance(v, dict) and "wm" in v,
+            extract=lambda v: v["wm"])
+        assert generator.on_event({"wm": 42}, 10) == 42
+
+
+class TestStrategyFactories:
+    def test_monotonic_factory(self):
+        strategy = WatermarkStrategy.for_monotonic_timestamps(lambda v: v[1])
+        assert strategy.timestamp_assigner(("x", 9)) == 9
+        generator = strategy.generator_factory()
+        generator.on_event(None, 9)
+        assert generator.on_periodic() == 9
+
+    def test_bounded_factory_makes_fresh_generators(self):
+        strategy = WatermarkStrategy.for_bounded_out_of_orderness(
+            lambda v: v, 10)
+        g1 = strategy.generator_factory()
+        g2 = strategy.generator_factory()
+        g1.on_event(None, 100)
+        assert g2.on_periodic() is None  # independent state
+
+    def test_invalid_interval_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            WatermarkStrategy(lambda v: v, lambda: None,
+                              periodic_interval_ms=0)

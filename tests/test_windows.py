@@ -1,0 +1,129 @@
+"""Unit tests for window types, assigners and merge logic."""
+
+import pytest
+
+from repro.windowing import (
+    EventTimeSessionWindows,
+    GlobalWindow,
+    GlobalWindows,
+    SlidingEventTimeWindows,
+    TimeWindow,
+    TumblingEventTimeWindows,
+    merge_windows,
+)
+
+
+class TestTimeWindow:
+    def test_max_timestamp(self):
+        assert TimeWindow(0, 10).max_timestamp == 9
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            TimeWindow(10, 10)
+
+    def test_intersects_includes_touching(self):
+        assert TimeWindow(0, 10).intersects(TimeWindow(10, 20))
+        assert TimeWindow(0, 10).intersects(TimeWindow(5, 15))
+        assert not TimeWindow(0, 10).intersects(TimeWindow(11, 20))
+
+    def test_cover(self):
+        assert TimeWindow(0, 10).cover(TimeWindow(5, 20)) == TimeWindow(0, 20)
+
+    def test_contains_half_open(self):
+        window = TimeWindow(10, 20)
+        assert window.contains(10)
+        assert window.contains(19)
+        assert not window.contains(20)
+
+    def test_ordering_and_hash(self):
+        assert TimeWindow(0, 5) < TimeWindow(1, 2)
+        assert hash(TimeWindow(0, 5)) == hash(TimeWindow(0, 5))
+
+
+class TestTumblingAssigner:
+    def test_assigns_single_window(self):
+        assigner = TumblingEventTimeWindows.of(10)
+        assert assigner.assign(None, 25) == [TimeWindow(20, 30)]
+
+    def test_boundary_belongs_to_next_window(self):
+        assigner = TumblingEventTimeWindows.of(10)
+        assert assigner.assign(None, 20) == [TimeWindow(20, 30)]
+
+    def test_offset(self):
+        assigner = TumblingEventTimeWindows.of(10, offset=3)
+        assert assigner.assign(None, 25) == [TimeWindow(23, 33)]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TumblingEventTimeWindows.of(0)
+        with pytest.raises(ValueError):
+            TumblingEventTimeWindows.of(10, offset=10)
+
+
+class TestSlidingAssigner:
+    def test_assigns_size_over_slide_windows(self):
+        assigner = SlidingEventTimeWindows.of(10, 5)
+        windows = assigner.assign(None, 12)
+        assert sorted(windows) == [TimeWindow(5, 15), TimeWindow(10, 20)]
+
+    def test_element_in_every_containing_window(self):
+        assigner = SlidingEventTimeWindows.of(20, 5)
+        windows = assigner.assign(None, 33)
+        assert len(windows) == 4
+        for window in windows:
+            assert window.contains(33)
+
+    def test_slide_larger_than_size_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingEventTimeWindows.of(5, 10)
+
+    def test_equal_size_and_slide_is_tumbling(self):
+        assigner = SlidingEventTimeWindows.of(10, 10)
+        assert assigner.assign(None, 25) == [TimeWindow(20, 30)]
+
+
+class TestSessionAssigner:
+    def test_proto_window_spans_gap(self):
+        assigner = EventTimeSessionWindows.with_gap(30)
+        assert assigner.assign(None, 100) == [TimeWindow(100, 130)]
+        assert assigner.is_merging
+
+    def test_invalid_gap(self):
+        with pytest.raises(ValueError):
+            EventTimeSessionWindows.with_gap(0)
+
+
+class TestGlobalWindows:
+    def test_single_global_window(self):
+        assigner = GlobalWindows.create()
+        [window] = assigner.assign(None, 5)
+        assert isinstance(window, GlobalWindow)
+        assert not assigner.is_event_time
+
+    def test_global_window_is_singleton(self):
+        assert GlobalWindow() is GlobalWindow()
+
+
+class TestMergeWindows:
+    def test_disjoint_windows_stay_apart(self):
+        groups = merge_windows([TimeWindow(0, 10), TimeWindow(20, 30)])
+        assert len(groups) == 2
+
+    def test_overlapping_windows_group(self):
+        groups = merge_windows([TimeWindow(0, 10), TimeWindow(5, 15),
+                                TimeWindow(12, 20)])
+        assert len(groups) == 1
+        assert len(groups[0]) == 3
+
+    def test_touching_windows_group(self):
+        groups = merge_windows([TimeWindow(0, 10), TimeWindow(10, 20)])
+        assert len(groups) == 1
+
+    def test_transitive_merging_through_middle_window(self):
+        # [0,10) and [18,30) only merge because [8,20) bridges them.
+        groups = merge_windows([TimeWindow(0, 10), TimeWindow(18, 30),
+                                TimeWindow(8, 20)])
+        assert len(groups) == 1
+
+    def test_empty_input(self):
+        assert merge_windows([]) == []
