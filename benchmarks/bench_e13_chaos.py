@@ -1,0 +1,104 @@
+"""E13 -- Chaos overhead and recovery cost under supervision.
+
+Measures what the failure domain costs when nothing fails, and what a
+supervised recovery costs when something does:
+
+* supervisor overhead: the chaos/restart machinery attached but idle
+  must not change the round count of a failure-free run;
+* recovery cost: scheduler rounds and simulated time per injected
+  crash, across the restart strategies, with the final window state
+  asserted identical to the failure-free run.
+
+Expected shape (asserted):
+* idle supervision is free (identical rounds);
+* every supervised chaos run converges to the failure-free state;
+* recovery cost grows with the number of injected crashes.
+"""
+
+import pytest
+
+from harness import format_table, record
+from repro.api import StreamExecutionEnvironment
+from repro.runtime.engine import EngineConfig
+from repro.runtime.faults import SUBTASK_FAILURE, ChaosInjector, FaultEvent
+from repro.runtime.restart import (
+    ExponentialBackoffRestart,
+    FailureRateRestart,
+    FixedDelayRestart,
+)
+from repro.time.watermarks import WatermarkStrategy
+from repro.windowing import CountAggregate, TumblingEventTimeWindows
+
+RECORDS = 1_400
+KEYS = 7
+DATA = [("k%d" % (index % KEYS), index) for index in range(RECORDS)]
+
+STRATEGIES = {
+    "fixed-delay": lambda: FixedDelayRestart(max_restarts=20, delay_ms=2),
+    "exp-backoff": lambda: ExponentialBackoffRestart(initial_delay_ms=1,
+                                                     max_delay_ms=64),
+    "failure-rate": lambda: FailureRateRestart(max_failures_per_interval=20,
+                                               interval_ms=100, delay_ms=2),
+}
+
+
+def run_job(chaos=None, restart_strategy=None):
+    env = StreamExecutionEnvironment(
+        parallelism=2,
+        config=EngineConfig(checkpoint_interval_ms=5, elements_per_step=4,
+                            chaos=chaos, restart_strategy=restart_strategy))
+    strategy = WatermarkStrategy.for_monotonic_timestamps(lambda v: v[1])
+    result = (env.from_collection(DATA)
+              .assign_timestamps_and_watermarks(strategy)
+              .key_by(lambda v: v[0])
+              .window(TumblingEventTimeWindows.of(100))
+              .aggregate(CountAggregate())
+              .collect())
+    job = env.execute()
+    return set(result.get()), job
+
+
+def chaos_sweep():
+    baseline, baseline_job = run_job()
+    table = {"baseline (no supervision)": (baseline_job.rounds, 0, 0)}
+
+    # Supervisor attached but never firing: must be free.
+    idle, idle_job = run_job(chaos=ChaosInjector([]),
+                             restart_strategy=STRATEGIES["fixed-delay"]())
+    assert idle == baseline and idle_job.rounds == baseline_job.rounds
+    table["supervised, idle"] = (idle_job.rounds, 0, 0)
+
+    for crashes in (1, 2, 3):
+        schedule = [FaultEvent(60 * (index + 1), SUBTASK_FAILURE,
+                               target=index)
+                    for index in range(crashes)]
+        for name, factory in STRATEGIES.items():
+            state, job = run_job(chaos=ChaosInjector(schedule),
+                                 restart_strategy=factory())
+            assert state == baseline, (
+                "%s with %d crashes diverged" % (name, crashes))
+            assert job.restarts == crashes
+            table["%s, %d crash(es)" % (name, crashes)] = (
+                job.rounds, job.restarts, job.recoveries)
+    return baseline_job.rounds, table
+
+
+def test_e13_chaos_overhead(benchmark):
+    baseline_rounds, table = benchmark.pedantic(chaos_sweep,
+                                                iterations=1, rounds=1)
+
+    rows = [[name, rounds, restarts, recoveries,
+             "%.1f%%" % (100.0 * (rounds - baseline_rounds)
+                         / baseline_rounds)]
+            for name, (rounds, restarts, recoveries) in table.items()]
+    record("e13_chaos", format_table(
+        ["scenario", "scheduler rounds", "restarts", "recoveries",
+         "round overhead"], rows,
+        title="E13: supervised recovery cost, keyed windows over %d records"
+              % RECORDS))
+
+    one = table["fixed-delay, 1 crash(es)"][0]
+    three = table["fixed-delay, 3 crash(es)"][0]
+    # Each recovery replays from the latest checkpoint: more crashes,
+    # more replayed rounds.
+    assert three >= one

@@ -178,6 +178,14 @@ class StreamExecutionEnvironment:
     def last_engine(self) -> Optional[Engine]:
         return self._last_engine
 
+    @property
+    def dead_letters(self) -> List[Any]:
+        """Records quarantined during the last execution (requires
+        ``quarantine_threshold`` in the engine config)."""
+        if self._last_engine is None:
+            return []
+        return list(self._last_engine.dead_letters)
+
     def explain(self) -> str:
         """The logical and physical plan, side by side."""
         logical = explain_stream_graph(self.graph)

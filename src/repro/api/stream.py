@@ -168,6 +168,20 @@ class DataStream:
     def add_sink(self, fn: Callable[[Any], None],
                  parallelism: Optional[int] = None,
                  name: str = "sink") -> None:
+        from repro.connectors.sinks import (
+            TransactionalSink,
+            TransactionalSinkOperator,
+        )
+        if isinstance(fn, TransactionalSink):
+            # An exactly-once sink owns one target file, so its writes
+            # cannot be spread over parallel subtasks.
+            if parallelism not in (None, 1):
+                raise ValueError(
+                    "transactional sinks require parallelism 1; got %r"
+                    % parallelism)
+            self._connect(name, lambda: TransactionalSinkOperator(fn, name),
+                          parallelism=1, is_sink=True)
+            return
         self._connect(name, lambda: ForEachSink(fn, name),
                       parallelism=parallelism, is_sink=True)
 

@@ -4,7 +4,16 @@ from repro.connectors.partitioned import (
     PartitionedSource,
     partition_round_robin,
 )
-from repro.connectors.sinks import CsvFileSink, JsonlFileSink, TextFileSink
+from repro.connectors.sinks import (
+    CsvFileSink,
+    JsonlFileSink,
+    TextFileSink,
+    TransactionalCsvFileSink,
+    TransactionalJsonlFileSink,
+    TransactionalSink,
+    TransactionalSinkOperator,
+    TransactionalTextFileSink,
+)
 from repro.connectors.sources import (
     csv_records,
     jsonl_records,
@@ -18,6 +27,11 @@ __all__ = [
     "CsvFileSink",
     "JsonlFileSink",
     "TextFileSink",
+    "TransactionalCsvFileSink",
+    "TransactionalJsonlFileSink",
+    "TransactionalSink",
+    "TransactionalSinkOperator",
+    "TransactionalTextFileSink",
     "csv_records",
     "jsonl_records",
     "text_file_lines",

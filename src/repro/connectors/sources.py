@@ -1,17 +1,31 @@
 """File and generator connectors: getting data at rest and data in
-motion into the unified API."""
+motion into the unified API.
+
+Error contract: connector failures must carry enough context to act on
+-- a missing file names its path, a malformed record names its path
+*and* line number -- because in a streaming job the raised exception is
+all the operator (or the dead-letter queue) gets to see.
+"""
 
 from __future__ import annotations
 
 import csv
 import json
+import os
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+
+def _require_file(path: str, connector: str) -> None:
+    if not os.path.exists(path):
+        raise FileNotFoundError(
+            "%s: no such file: %r" % (connector, path))
 
 
 def text_file_lines(path: str, strip: bool = True) -> Callable[[], Iterator[str]]:
     """A replayable factory over a text file's lines, for
     ``env.from_source``."""
     def factory() -> Iterator[str]:
+        _require_file(path, "text_file_lines")
         with open(path, "r", encoding="utf-8") as handle:
             for line in handle:
                 yield line.rstrip("\n") if strip else line
@@ -20,25 +34,62 @@ def text_file_lines(path: str, strip: bool = True) -> Callable[[], Iterator[str]
 
 def csv_records(path: str, types: Optional[Dict[str, Callable[[str], Any]]] = None
                 ) -> Callable[[], Iterator[Dict[str, Any]]]:
-    """A replayable factory of dict rows from a CSV file with a header."""
+    """A replayable factory of dict rows from a CSV file with a header.
+
+    Rows whose width differs from the header's fail with the path and
+    the 1-based line number of the offending row.
+    """
     def factory() -> Iterator[Dict[str, Any]]:
+        _require_file(path, "csv_records")
         with open(path, "r", encoding="utf-8", newline="") as handle:
-            for row in csv.DictReader(handle):
+            reader = csv.reader(handle)
+            try:
+                header = next(reader)
+            except StopIteration:
+                return
+            for row in reader:
+                if not row:
+                    continue  # blank line
+                if len(row) != len(header):
+                    raise ValueError(
+                        "csv_records: %s:%d: row has %d fields, "
+                        "header has %d" % (path, reader.line_num,
+                                           len(row), len(header)))
+                record = dict(zip(header, row))
                 if types:
-                    row = {key: (types[key](value) if key in types else value)
-                           for key, value in row.items()}
-                yield row
+                    try:
+                        record = {key: (types[key](value) if key in types
+                                        else value)
+                                  for key, value in record.items()}
+                    except (TypeError, ValueError) as exc:
+                        raise ValueError(
+                            "csv_records: %s:%d: type conversion failed: %s"
+                            % (path, reader.line_num, exc)) from exc
+                yield record
     return factory
 
 
 def jsonl_records(path: str) -> Callable[[], Iterator[Any]]:
-    """A replayable factory over a JSON-lines file."""
+    """A replayable factory over a JSON-lines file.
+
+    A malformed line fails with the path and 1-based line number, not
+    just json's column offset.
+    """
     def factory() -> Iterator[Any]:
+        _require_file(path, "jsonl_records")
         with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
+            for line_number, line in enumerate(handle, start=1):
                 line = line.strip()
-                if line:
+                if not line:
+                    continue
+                try:
                     yield json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        "jsonl_records: %s:%d: malformed JSON (%s): %r"
+                        % (path, line_number, exc.msg,
+                           line if len(line) <= 80 else line[:77] + "...")
+                    ) from exc
     return factory
 
 

@@ -8,6 +8,7 @@ from repro.metrics.metrics import (
     MetricGroup,
     ThroughputTracker,
     merge_counter_maps,
+    merge_gauge_maps,
 )
 
 __all__ = [
@@ -18,4 +19,5 @@ __all__ = [
     "MetricGroup",
     "ThroughputTracker",
     "merge_counter_maps",
+    "merge_gauge_maps",
 ]

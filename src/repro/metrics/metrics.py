@@ -306,3 +306,15 @@ def merge_counter_maps(maps: Iterable[Dict[str, int]]) -> Dict[str, int]:
         for name, value in counter_map.items():
             merged[name] = merged.get(name, 0) + value
     return merged
+
+
+def merge_gauge_maps(maps: Iterable[Dict[str, int]]) -> Dict[str, int]:
+    """Union per-task gauge dictionaries into one job-level view.
+
+    Gauges carry point-in-time values, so unlike counters they cannot be
+    summed; on a name collision across tasks the last map wins.
+    """
+    merged: Dict[str, int] = {}
+    for gauge_map in maps:
+        merged.update(gauge_map)
+    return merged

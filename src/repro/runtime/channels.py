@@ -77,6 +77,33 @@ class Channel:
         self.blocked = False
         self.finished = False
 
+    # -- chaos injection hooks (repro.runtime.faults) ----------------------
+
+    @property
+    def has_buffered_record(self) -> bool:
+        """Whether at least one *data* record (not a barrier, watermark or
+        EOS) is buffered -- the only elements chaos may drop/duplicate."""
+        return any(element.is_record for element in self._queue)
+
+    def drop_one_record(self) -> bool:
+        """Remove the oldest buffered data record (simulated network
+        loss); control elements are never dropped, their loss would wedge
+        alignment rather than exercise recovery."""
+        for index, element in enumerate(self._queue):
+            if element.is_record:
+                del self._queue[index]
+                return True
+        return False
+
+    def duplicate_one_record(self) -> bool:
+        """Repeat the oldest buffered data record in place (simulated
+        network retransmission)."""
+        for index, element in enumerate(self._queue):
+            if element.is_record:
+                self._queue.insert(index, element)
+                return True
+        return False
+
     def __repr__(self) -> str:
         state = "blocked" if self.blocked else ("finished" if self.finished
                                                 else "open")

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
-from repro.metrics import MetricGroup, merge_counter_maps
+from repro.metrics import MetricGroup, merge_counter_maps, merge_gauge_maps
 from repro.runtime.channels import Channel
 from repro.runtime.elements import MAX_TIMESTAMP
 from repro.runtime.partition import ForwardPartitioner
@@ -39,6 +39,8 @@ from repro.time.clock import ManualClock
 
 if TYPE_CHECKING:  # imported lazily to avoid a plan <-> runtime cycle
     from repro.plan.graph import JobGraph
+    from repro.runtime.faults import ChaosInjector, DeadLetter
+    from repro.runtime.restart import RestartStrategy
 
 
 class EngineConfig:
@@ -52,7 +54,12 @@ class EngineConfig:
                  max_retained_checkpoints: int = 3,
                  max_rounds: int = 50_000_000,
                  failure_hook: Optional[Callable[["Engine", int], bool]] = None,
-                 cancel_hook: Optional[Callable[["Engine", int], bool]] = None
+                 cancel_hook: Optional[Callable[["Engine", int], bool]] = None,
+                 restart_strategy: Optional["RestartStrategy"] = None,
+                 checkpoint_timeout_ms: Optional[int] = None,
+                 tolerable_consecutive_checkpoint_failures: Optional[int] = None,
+                 quarantine_threshold: Optional[int] = None,
+                 chaos: Optional["ChaosInjector"] = None
                  ) -> None:
         if channel_capacity < 1:
             raise ValueError("channel_capacity must be >= 1")
@@ -62,6 +69,14 @@ class EngineConfig:
             raise ValueError("tick_ms must be >= 0")
         if checkpoint_interval_ms is not None and checkpoint_interval_ms <= 0:
             raise ValueError("checkpoint_interval_ms must be positive")
+        if checkpoint_timeout_ms is not None and checkpoint_timeout_ms <= 0:
+            raise ValueError("checkpoint_timeout_ms must be positive")
+        if (tolerable_consecutive_checkpoint_failures is not None
+                and tolerable_consecutive_checkpoint_failures < 0):
+            raise ValueError(
+                "tolerable_consecutive_checkpoint_failures must be >= 0")
+        if quarantine_threshold is not None and quarantine_threshold < 0:
+            raise ValueError("quarantine_threshold must be >= 0")
         self.channel_capacity = channel_capacity
         self.elements_per_step = elements_per_step
         self.tick_ms = tick_ms
@@ -70,6 +85,25 @@ class EngineConfig:
         self.max_rounds = max_rounds
         self.failure_hook = failure_hook
         self.cancel_hook = cancel_hook
+        #: Supervisor policy for task failures.  ``None`` keeps the
+        #: legacy contract: operator exceptions propagate out of
+        #: ``execute()`` and ``InjectedFailure`` restores from the latest
+        #: checkpoint without counting as a supervised restart.
+        self.restart_strategy = restart_strategy
+        #: Abort a pending checkpoint still unacknowledged after this
+        #: much simulated time (``None`` = wait forever).
+        self.checkpoint_timeout_ms = checkpoint_timeout_ms
+        #: Fail the job after more than this many checkpoint aborts in a
+        #: row (``None`` = tolerate any number).
+        self.tolerable_consecutive_checkpoint_failures = (
+            tolerable_consecutive_checkpoint_failures)
+        #: When set, a record whose processing raises is quarantined to
+        #: the dead-letter output; a task exceeding this many dead
+        #: letters in one attempt escalates to the supervisor.
+        #: ``None`` disables quarantine (exceptions fail the task).
+        self.quarantine_threshold = quarantine_threshold
+        #: Deterministic fault injection (see :mod:`repro.runtime.faults`).
+        self.chaos = chaos
 
 
 class JobFailedError(Exception):
@@ -94,7 +128,11 @@ class JobResult:
                  checkpoints_completed: int,
                  checkpoint_durations_ms: List[int],
                  recoveries: int,
-                 cancelled: bool = False) -> None:
+                 cancelled: bool = False,
+                 restarts: int = 0,
+                 checkpoints_aborted: int = 0,
+                 dead_letters: Optional[List["DeadLetter"]] = None,
+                 gauges: Optional[Dict[str, int]] = None) -> None:
         self.rounds = rounds
         self.simulated_time_ms = simulated_time_ms
         self.counters = counters
@@ -102,16 +140,30 @@ class JobResult:
         self.checkpoint_durations_ms = checkpoint_durations_ms
         self.recoveries = recoveries
         self.cancelled = cancelled
+        #: Supervised restarts granted by the restart strategy (legacy
+        #: ``failure_hook`` recoveries count in ``recoveries`` only).
+        self.restarts = restarts
+        self.checkpoints_aborted = checkpoints_aborted
+        #: Quarantined poison records, in arrival order.
+        self.dead_letters = dead_letters if dead_letters is not None else []
+        self.gauges = gauges if gauges is not None else {}
 
     @property
     def records_emitted(self) -> int:
         return sum(value for name, value in self.counters.items()
                    if name.endswith("records_out"))
 
+    def dead_letters_for(self, operator_name: str) -> List["DeadLetter"]:
+        """The quarantined records attributed to one operator."""
+        return [letter for letter in self.dead_letters
+                if letter.operator == operator_name]
+
     def __repr__(self) -> str:
-        return ("JobResult(rounds=%d, sim_ms=%d, checkpoints=%d, recoveries=%d)"
+        return ("JobResult(rounds=%d, sim_ms=%d, checkpoints=%d, "
+                "recoveries=%d, restarts=%d, dead_letters=%d)"
                 % (self.rounds, self.simulated_time_ms,
-                   self.checkpoints_completed, self.recoveries))
+                   self.checkpoints_completed, self.recoveries,
+                   self.restarts, len(self.dead_letters)))
 
 
 class Engine:
@@ -132,7 +184,22 @@ class Engine:
             self.config.checkpoint_interval_ms)
         self._checkpoint_durations: List[int] = []
         self._checkpoints_completed = 0
+        self._checkpoints_aborted = 0
+        self._consecutive_checkpoint_failures = 0
+        #: Checkpoint ids sealed this round, whose completion
+        #: notifications still have to be delivered to the tasks (2PC
+        #: sinks commit on this signal).
+        self._completion_notifications: List[int] = []
         self.recoveries = 0
+        self.restarts = 0
+        self.dead_letters: List["DeadLetter"] = []
+        # Note: counter maps merge by *unqualified* name, so coordinator
+        # counters must not reuse task-level counter names (tasks already
+        # count their own dead_letters).
+        self.metrics = MetricGroup("coordinator")
+        self._restarts_metric = self.metrics.counter("restarts")
+        self._failures_metric = self.metrics.counter("failures")
+        self._aborted_metric = self.metrics.counter("checkpoints_aborted")
         self._build()
 
     # -- construction -----------------------------------------------------
@@ -148,6 +215,8 @@ class Engine:
                             operators, self.clock, metrics,
                             elements_per_step=cfg.elements_per_step)
                 task.checkpoint_ack = self._acknowledge_checkpoint
+                task.quarantine_threshold = cfg.quarantine_threshold
+                task.dead_letter_collector = self._collect_dead_letter
                 subtasks.append(task)
             self._tasks_by_vertex[vertex_id] = subtasks
             self.tasks.extend(subtasks)
@@ -193,11 +262,11 @@ class Engine:
             return
         checkpoint_id = self._next_checkpoint_id
         self._next_checkpoint_id += 1
-        expected = {t.subtask_id for t in self.tasks}
+        expected = {t.subtask_id for t in self.tasks if not t.finished}
         self._pending_checkpoint = PendingCheckpoint(
             checkpoint_id, expected, trigger_time=self.clock.now())
         for task in self.tasks:
-            if task.is_source:
+            if task.is_source and not task.finished:
                 task.pending_checkpoint = checkpoint_id
         self._next_checkpoint_time = self.clock.now() + interval
 
@@ -212,7 +281,108 @@ class Engine:
             self.checkpoint_store.add(completed)
             self._checkpoint_durations.append(completed.duration_ms)
             self._checkpoints_completed += 1
+            self._consecutive_checkpoint_failures = 0
             self._pending_checkpoint = None
+            # Deferred until after the current task step so notifications
+            # observe a consistent post-checkpoint world.
+            self._completion_notifications.append(checkpoint_id)
+
+    def _maybe_abort_pending_checkpoint(self) -> None:
+        """Coordinator self-defence: give up on a checkpoint that can no
+        longer complete (a participant finished before acking) or that
+        overstayed ``checkpoint_timeout_ms``, instead of wedging the
+        trigger loop forever."""
+        pending = self._pending_checkpoint
+        if pending is None:
+            return
+        reason = None
+        by_id = {task.subtask_id: task for task in self.tasks}
+        for subtask in sorted(pending.pending_subtasks):
+            task = by_id.get(subtask)
+            if task is None or task.finished:
+                reason = ("participant %s#%d finished before acknowledging"
+                          % subtask)
+                break
+        if reason is None and pending.is_expired(
+                self.clock.now(), self.config.checkpoint_timeout_ms):
+            reason = ("timed out after %d ms waiting on %r"
+                      % (self.config.checkpoint_timeout_ms,
+                         sorted(pending.pending_subtasks)))
+        if reason is not None:
+            self._abort_pending_checkpoint(reason)
+
+    def _abort_pending_checkpoint(self, reason: str) -> None:
+        pending = self._pending_checkpoint
+        assert pending is not None
+        pending.abort(reason)
+        self._pending_checkpoint = None
+        for task in self.tasks:
+            task.abort_checkpoint(pending.checkpoint_id)
+        self._checkpoints_aborted += 1
+        self._aborted_metric.inc()
+        self._consecutive_checkpoint_failures += 1
+        tolerable = self.config.tolerable_consecutive_checkpoint_failures
+        if (tolerable is not None
+                and self._consecutive_checkpoint_failures > tolerable):
+            self._consecutive_checkpoint_failures = 0
+            self._handle_failure(JobFailedError(
+                "more than %d consecutive checkpoint failures "
+                "(latest: checkpoint %d aborted: %s)"
+                % (tolerable, pending.checkpoint_id, reason)))
+
+    def _deliver_checkpoint_notifications(self) -> None:
+        """Tell every live task about checkpoints sealed last round; this
+        is the commit signal of the two-phase-commit sink protocol."""
+        while self._completion_notifications:
+            checkpoint_id = self._completion_notifications.pop(0)
+            for task in self.tasks:
+                if not task.finished:
+                    task.notify_checkpoint_complete(checkpoint_id)
+
+    # -- supervision --------------------------------------------------------
+
+    def _collect_dead_letter(self, letter: "DeadLetter") -> None:
+        self.dead_letters.append(letter)
+
+    def _handle_failure(self, exc: BaseException) -> None:
+        """The supervisor: consult the restart strategy and either restart
+        the job (from the latest checkpoint, or from scratch when none
+        completed yet) or let the failure escape."""
+        self._failures_metric.inc()
+        strategy = self.config.restart_strategy
+        if strategy is None:
+            # Legacy contract: injected crashes restore from the latest
+            # checkpoint; real operator exceptions propagate unchanged.
+            if isinstance(exc, InjectedFailure):
+                self.recover()
+                return
+            raise exc
+        delay_ms = strategy.on_failure(self.clock.now())
+        if delay_ms is None:
+            raise JobFailedError(
+                "restart strategy %r gave up after: %r" % (strategy, exc)
+            ) from exc
+        if delay_ms:
+            self.clock.advance(delay_ms)  # restart delay burns simulated time
+        self.restarts += 1
+        self._restarts_metric.inc()
+        if self.checkpoint_store.latest is not None:
+            self.recover()
+        else:
+            self._restart_from_scratch()
+
+    def _restart_from_scratch(self) -> None:
+        """Redeploy the whole job from the job graph -- fresh operators,
+        empty channels, sources at offset zero.  Used when a supervised
+        failure strikes before any checkpoint completed."""
+        self._pending_checkpoint = None
+        self.tasks = []
+        self._tasks_by_vertex = {}
+        self._build()
+        if self.config.checkpoint_interval_ms is not None:
+            self._next_checkpoint_time = (
+                self.clock.now() + self.config.checkpoint_interval_ms)
+        self.recoveries += 1
 
     # -- recovery -----------------------------------------------------------
 
@@ -366,22 +536,32 @@ class Engine:
                 break
             if cfg.failure_hook is not None and cfg.failure_hook(self, rounds):
                 self.recover()
+            if cfg.chaos is not None:
+                try:
+                    cfg.chaos.on_round(self, rounds)
+                except Exception as exc:
+                    self._handle_failure(exc)
 
             progressed = False
             for task in self.tasks:
-                if task.is_runnable:
-                    try:
-                        if task.step():
-                            progressed = True
-                    except InjectedFailure:
-                        self.recover()
+                if not task.is_runnable:
+                    continue
+                if cfg.chaos is not None and cfg.chaos.is_stalled(task, rounds):
+                    continue
+                try:
+                    if task.step():
                         progressed = True
-                        break
+                except Exception as exc:
+                    self._handle_failure(exc)
+                    progressed = True
+                    break
 
+            self._deliver_checkpoint_notifications()
             self.clock.advance(cfg.tick_ms)
             now = self.clock.now()
             for task in self.tasks:
                 task.on_processing_time(now)
+            self._maybe_abort_pending_checkpoint()
             self._maybe_trigger_checkpoint()
             rounds += 1
 
@@ -409,9 +589,16 @@ class Engine:
                        [t for t in self.tasks if not t.finished]))
 
         counters = merge_counter_maps(
-            task.metrics.counters() for task in self.tasks)
+            [task.metrics.counters() for task in self.tasks]
+            + [self.metrics.counters()])
+        gauges = merge_gauge_maps(
+            task.metrics.gauges() for task in self.tasks)
         return JobResult(rounds, self.clock.now(), counters,
                          checkpoints_completed=self._checkpoints_completed,
                          checkpoint_durations_ms=list(self._checkpoint_durations),
                          recoveries=self.recoveries,
-                         cancelled=cancelled)
+                         cancelled=cancelled,
+                         restarts=self.restarts,
+                         checkpoints_aborted=self._checkpoints_aborted,
+                         dead_letters=list(self.dead_letters),
+                         gauges=gauges)

@@ -1,0 +1,228 @@
+"""Chaos injection and the poison-record vocabulary.
+
+The failure domain of the engine is exercised by *deterministic* chaos:
+a :class:`ChaosInjector` carries a schedule of :class:`FaultEvent`\\ s --
+generated from a seed or written by hand -- and applies each one at its
+scheduled scheduler round.  Because the engine loop is single-threaded
+and the schedule is data, every chaos run replays bit-identically, which
+is what lets the test-suite assert that a fault-ridden run converges to
+the exact keyed state of the failure-free run.
+
+Fault kinds:
+
+* ``subtask-failure`` -- a running subtask crashes (the supervisor's
+  restart strategy decides what happens next);
+* ``drop-record`` / ``duplicate-record`` -- a channel loses or repeats
+  an in-flight record, then the job crashes: the corruption is only
+  survivable because recovery discards in-flight data and replays it;
+* ``source-stall`` -- a source subtask emits nothing for N rounds
+  (a slow upstream / network partition);
+* ``poison-record`` -- the next record entering a processing subtask
+  raises on processing; with quarantine enabled it lands in the
+  dead-letter output, otherwise the supervisor restarts the job.
+
+The quarantine side: when :class:`~repro.runtime.engine.EngineConfig`
+sets ``quarantine_threshold``, a record whose processing raises is
+captured as a :class:`DeadLetter` (record + error context) instead of
+killing the subtask; a subtask exceeding the threshold in one attempt
+escalates by raising :class:`PoisonEscalation`, which the supervisor
+treats like any other failure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class PoisonPill(Exception):
+    """Raised while processing a chaos-poisoned record."""
+
+
+class PoisonEscalation(Exception):
+    """A subtask quarantined more records than the configured threshold
+    allows; the supervisor must restart (or fail) the job."""
+
+    def __init__(self, task_repr: str, count: int, threshold: int) -> None:
+        super().__init__(
+            "%s quarantined %d records, exceeding threshold %d"
+            % (task_repr, count, threshold))
+        self.task_repr = task_repr
+        self.count = count
+        self.threshold = threshold
+
+
+class DeadLetter:
+    """One quarantined record plus the context needed to debug it."""
+
+    __slots__ = ("value", "timestamp", "key", "operator", "subtask_index",
+                 "error", "error_type")
+
+    def __init__(self, value: Any, timestamp: Optional[int], key: Any,
+                 operator: str, subtask_index: int,
+                 error: BaseException) -> None:
+        self.value = value
+        self.timestamp = timestamp
+        self.key = key
+        self.operator = operator
+        self.subtask_index = subtask_index
+        self.error = repr(error)
+        self.error_type = type(error).__name__
+
+    def __repr__(self) -> str:
+        return ("DeadLetter(%r @ %s#%d, key=%r, ts=%r, error=%s)"
+                % (self.value, self.operator, self.subtask_index,
+                   self.key, self.timestamp, self.error))
+
+
+# -- fault schedule ---------------------------------------------------------
+
+SUBTASK_FAILURE = "subtask-failure"
+DROP_RECORD = "drop-record"
+DUPLICATE_RECORD = "duplicate-record"
+SOURCE_STALL = "source-stall"
+POISON_RECORD = "poison-record"
+
+FAULT_KINDS = (SUBTASK_FAILURE, DROP_RECORD, DUPLICATE_RECORD, SOURCE_STALL)
+#: Kinds that leave final state identical to a failure-free run (poison
+#: removes records from the stream, so it is scheduled separately).
+STATE_PRESERVING_KINDS = FAULT_KINDS
+
+
+class FaultEvent:
+    """One scheduled fault: fires at scheduler round ``round``.
+
+    ``target`` picks the victim deterministically (taken modulo the
+    number of eligible tasks/channels at fire time); ``param`` is
+    kind-specific (stall length in rounds, poison count).
+    """
+
+    __slots__ = ("round", "kind", "target", "param")
+
+    def __init__(self, round: int, kind: str, target: int = 0,
+                 param: int = 1) -> None:
+        if round < 0:
+            raise ValueError("fault round must be >= 0")
+        if kind not in FAULT_KINDS + (POISON_RECORD,):
+            raise ValueError("unknown fault kind %r" % kind)
+        self.round = round
+        self.kind = kind
+        self.target = target
+        self.param = param
+
+    def __repr__(self) -> str:
+        return ("FaultEvent(round=%d, %s, target=%d, param=%d)"
+                % (self.round, self.kind, self.target, self.param))
+
+
+def random_fault_schedule(seed: int, num_faults: int = 4,
+                          first_round: int = 30, last_round: int = 400,
+                          kinds: Tuple[str, ...] = STATE_PRESERVING_KINDS,
+                          max_stall_rounds: int = 200) -> List[FaultEvent]:
+    """A deterministic randomized fault schedule for chaos sweeps."""
+    if num_faults < 1:
+        raise ValueError("num_faults must be >= 1")
+    if last_round < first_round:
+        raise ValueError("last_round must be >= first_round")
+    rng = random.Random(seed)
+    events = []
+    for _ in range(num_faults):
+        kind = rng.choice(list(kinds))
+        fire_round = rng.randint(first_round, last_round)
+        param = (rng.randint(20, max_stall_rounds)
+                 if kind == SOURCE_STALL else rng.randint(1, 3))
+        events.append(FaultEvent(fire_round, kind,
+                                 target=rng.randrange(1 << 16), param=param))
+    events.sort(key=lambda event: event.round)
+    return events
+
+
+class ChaosInjector:
+    """Applies a fault schedule to a running engine.
+
+    The engine calls :meth:`on_round` at the top of every scheduler round
+    and :meth:`is_stalled` before stepping each task.  Faults that find
+    no eligible victim (e.g. a drop-record fault while all channels are
+    empty) are retried on subsequent rounds until they land or the job
+    ends; ``applied`` records what actually fired.
+    """
+
+    def __init__(self, schedule: List[FaultEvent]) -> None:
+        self.schedule = sorted(schedule, key=lambda event: event.round)
+        self.applied: List[Tuple[int, FaultEvent]] = []
+        self._stalls: Dict[Any, int] = {}   # subtask_id -> stalled-until round
+
+    @classmethod
+    def from_seed(cls, seed: int, **kwargs: Any) -> "ChaosInjector":
+        return cls(random_fault_schedule(seed, **kwargs))
+
+    # -- engine hooks ----------------------------------------------------
+
+    def is_stalled(self, task: Any, current_round: int) -> bool:
+        until = self._stalls.get(task.subtask_id)
+        return until is not None and current_round < until
+
+    def on_round(self, engine: Any, current_round: int) -> None:
+        """Apply every due fault; raises ``InjectedFailure`` when a fault
+        crashes the job (the engine's supervisor catches it)."""
+        while self.schedule and self.schedule[0].round <= current_round:
+            event = self.schedule[0]
+            if (event.kind in (DROP_RECORD, DUPLICATE_RECORD)
+                    and not any(channel.has_buffered_record
+                                for task in engine.tasks
+                                for channel, _ in task.inputs)):
+                return  # no in-flight record yet: retry next round
+            # Pop *before* applying: crash faults raise out of here, and a
+            # still-scheduled fault would re-fire after every recovery.
+            self.schedule.pop(0)
+            self.applied.append((current_round, event))
+            self._apply(engine, event, current_round)
+
+    # -- fault application ------------------------------------------------
+
+    def _apply(self, engine: Any, event: FaultEvent,
+               current_round: int) -> None:
+        from repro.runtime.engine import InjectedFailure
+        if event.kind == SUBTASK_FAILURE:
+            victims = [t for t in engine.tasks if not t.finished]
+            if not victims:
+                return  # job draining; nothing to kill
+            victim = victims[event.target % len(victims)]
+            raise InjectedFailure("chaos: subtask failure at %r" % victim)
+        if event.kind in (DROP_RECORD, DUPLICATE_RECORD):
+            channels = [channel for task in engine.tasks
+                        for channel, _ in task.inputs
+                        if channel.has_buffered_record]
+            if not channels:
+                return  # raced with a drain; treat as a no-op fault
+            channel = channels[event.target % len(channels)]
+            if event.kind == DROP_RECORD:
+                channel.drop_one_record()
+            else:
+                channel.duplicate_one_record()
+            # A lone drop/duplicate would silently corrupt downstream
+            # state; chaos models it as a detected network fault, so the
+            # job crashes and recovery replays the affected span.
+            raise InjectedFailure(
+                "chaos: %s on %s" % (event.kind, channel.name))
+        if event.kind == SOURCE_STALL:
+            sources = [t for t in engine.tasks
+                       if t.is_source and not t.finished]
+            if not sources:
+                return
+            victim = sources[event.target % len(sources)]
+            self._stalls[victim.subtask_id] = current_round + event.param
+            return
+        if event.kind == POISON_RECORD:
+            victims = [t for t in engine.tasks
+                       if not t.is_source and not t.finished]
+            if not victims:
+                return
+            victim = victims[event.target % len(victims)]
+            victim.poison_next_records += event.param
+            return
+        raise AssertionError("unreachable fault kind %r" % event.kind)
+
+    def __repr__(self) -> str:
+        return ("ChaosInjector(pending=%d, applied=%d, stalls=%d)"
+                % (len(self.schedule), len(self.applied), len(self._stalls)))

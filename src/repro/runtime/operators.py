@@ -119,6 +119,16 @@ class Operator:
     def finish(self) -> None:
         """All inputs reached end-of-stream; flush any buffered results."""
 
+    def on_checkpoint(self, checkpoint_id: int) -> None:
+        """Called at the barrier cut, immediately before
+        :meth:`snapshot_state`.  Transactional sinks pre-commit (phase
+        one of two-phase commit) here; most operators ignore it."""
+
+    def notify_checkpoint_complete(self, checkpoint_id: int) -> None:
+        """Called once the coordinator sealed ``checkpoint_id`` (every
+        participant acknowledged).  Transactional sinks commit their
+        pre-committed transactions on this signal -- never earlier."""
+
     def snapshot_state(self) -> Any:
         """Operator (non-keyed) state for checkpoints; keyed state is
         snapshotted by the task via the backend."""
@@ -515,6 +525,16 @@ class TimestampsAndWatermarksOperator(Operator):
 
     def restore_state(self, state: Any) -> None:
         self._last_emitted = state["last_emitted"]
+        # The generator's in-memory view (e.g. the max timestamp seen)
+        # reflects the pre-failure stream position, which lies *ahead* of
+        # the restored source offsets.  Rebuild it so watermarks are
+        # regenerated from the replayed records; anything at or below the
+        # checkpointed ``last_emitted`` is deduplicated in _maybe_emit.
+        # Without this, one replayed record would re-emit the pre-crash
+        # high-water mark and downstream windows would drop the rest of
+        # the replay as late data.
+        self._generator = self._strategy.generator_factory()
+        self._since_poll = 0
 
     def rescale_operator_state(self, states, subtask_index: int,
                                parallelism: int) -> Any:

@@ -123,14 +123,29 @@ class Task:
         self.finished = False
         self.failed: Optional[BaseException] = None
 
+        # Poison-record quarantine (configured by the engine): when
+        # ``quarantine_threshold`` is set, a record whose processing
+        # raises is routed to ``dead_letter_collector`` instead of
+        # failing the task; exceeding the threshold within one attempt
+        # escalates.  ``poison_next_records`` is the chaos hook: that
+        # many upcoming input records raise ``PoisonPill``.
+        self.quarantine_threshold: Optional[int] = None
+        self.dead_letter_collector: Optional[Callable[..., None]] = None
+        self.poison_next_records = 0
+        self._dead_letters_metric = metrics.counter("dead_letters")
+        self._attempt_dead_letters = 0
+
         # Watermark tracking.
         self._channel_watermarks: Dict[int, int] = {}
         self._combined_watermark = MIN_TIMESTAMP
         self._emitted_watermark = MIN_TIMESTAMP
 
-        # Barrier alignment.
+        # Barrier alignment.  ``_min_checkpoint_id`` rises when the
+        # coordinator aborts a checkpoint: barriers of aborted (stale)
+        # checkpoints still in flight are then ignored.
         self._aligning_checkpoint: Optional[int] = None
         self._aligned_channels: set = set()
+        self._min_checkpoint_id = 0
         self.pending_checkpoint: Optional[int] = None  # set by coordinator (sources)
         self.checkpoint_ack: Optional[Callable[[int, TaskSnapshot], None]] = None
 
@@ -168,7 +183,26 @@ class Task:
         return self._is_source
 
     def __repr__(self) -> str:
-        return "Task(%s#%d)" % (self.vertex_name, self.subtask_index)
+        # Diagnostic: stall/failure reports print lists of tasks, so the
+        # repr must show *why* a task is stuck -- queue depths, blocked
+        # channels and terminal flags -- not just its identity.
+        parts = ["%s#%d" % (self.vertex_name, self.subtask_index)]
+        if self.inputs:
+            parts.append("in_depths=%s"
+                         % [channel.size for channel, _ in self.inputs])
+            blocked = [index for index, (channel, _)
+                       in enumerate(self.inputs) if channel.blocked]
+            if blocked:
+                parts.append("blocked_inputs=%s" % blocked)
+        if self.output_edges and not self.has_output_capacity:
+            parts.append("backpressured")
+        if self._aligning_checkpoint is not None:
+            parts.append("aligning_ckpt=%d" % self._aligning_checkpoint)
+        if self.finished:
+            parts.append("finished")
+        if self.failed is not None:
+            parts.append("failed=%r" % self.failed)
+        return "Task(%s)" % ", ".join(parts)
 
     # -- wiring -----------------------------------------------------------
 
@@ -285,20 +319,55 @@ class Task:
     def _dispatch_input(self, element: StreamElement, channel_index: int) -> None:
         if element.is_record:
             self._records_in.inc()
-            _, input_index = self.inputs[channel_index]
-            head = self.chain[0]
-            head.backend.set_current_key(element.key)
-            head.ctx.current_timestamp = element.timestamp
-            if input_index == 0:
-                head.operator.process(element)
-            else:
-                head.operator.process2(element)
+            try:
+                self._process_record(element, channel_index)
+            except Exception as exc:
+                if self.quarantine_threshold is None:
+                    raise
+                self._quarantine(element, exc)
         elif element.is_watermark:
             self._on_channel_watermark(element.timestamp, channel_index)
         elif element.is_barrier:
             self._on_barrier(element, channel_index)
         elif element.is_end:
             self._on_channel_end(channel_index)
+
+    def _process_record(self, element: Record, channel_index: int) -> None:
+        if self.poison_next_records > 0:
+            # Chaos-injected poison: consume the flag *before* raising so
+            # a supervised restart replays the record cleanly.
+            self.poison_next_records -= 1
+            from repro.runtime.faults import PoisonPill
+            raise PoisonPill("chaos-injected poison in %s#%d"
+                             % (self.vertex_name, self.subtask_index))
+        _, input_index = self.inputs[channel_index]
+        head = self.chain[0]
+        head.backend.set_current_key(element.key)
+        head.ctx.current_timestamp = element.timestamp
+        if input_index == 0:
+            head.operator.process(element)
+        else:
+            head.operator.process2(element)
+
+    def _quarantine(self, element: Record, exc: Exception) -> None:
+        """Route a poison record to the dead-letter output; escalate once
+        this attempt exceeded the configured threshold.
+
+        Quarantine is best-effort at the *task* boundary: emissions the
+        chain produced before the exception have already been routed
+        downstream (synchronous dispatch), matching the contract of
+        side-output-based dead-letter queues in production engines.
+        """
+        from repro.runtime.faults import DeadLetter, PoisonEscalation
+        self._attempt_dead_letters += 1
+        self._dead_letters_metric.inc()
+        if self.dead_letter_collector is not None:
+            self.dead_letter_collector(DeadLetter(
+                element.value, element.timestamp, element.key,
+                self.vertex_name, self.subtask_index, exc))
+        if self._attempt_dead_letters > self.quarantine_threshold:
+            raise PoisonEscalation(repr(self), self._attempt_dead_letters,
+                                   self.quarantine_threshold) from exc
 
     # -- watermarks ----------------------------------------------------------
 
@@ -361,6 +430,14 @@ class Task:
 
     def _on_barrier(self, barrier: CheckpointBarrier, channel_index: int) -> None:
         checkpoint_id = barrier.checkpoint_id
+        if checkpoint_id < self._min_checkpoint_id:
+            return  # stale barrier of a coordinator-aborted checkpoint
+        if (self._aligning_checkpoint is not None
+                and checkpoint_id > self._aligning_checkpoint):
+            # A newer checkpoint's barrier overtook the one we were
+            # aligning on (the old one was aborted upstream): abandon the
+            # stale alignment so its blocked channels cannot deadlock us.
+            self.abort_checkpoint(self._aligning_checkpoint)
         if self._aligning_checkpoint is None:
             self._aligning_checkpoint = checkpoint_id
             self._aligned_channels = set()
@@ -369,17 +446,56 @@ class Task:
         channel, _ = self.inputs[channel_index]
         channel.blocked = True
         self._aligned_channels.add(channel_index)
+        self._maybe_complete_alignment()
+
+    def _maybe_complete_alignment(self) -> None:
+        """Snapshot and ack once barriers covered every *live* channel.
+
+        Called on barrier arrival and -- crucially -- when a channel
+        finishes mid-alignment: a channel delivering EOS after alignment
+        began will never deliver its barrier, and without this re-check
+        the task would hold its blocked channels forever.
+        """
+        if self._aligning_checkpoint is None:
+            return
         live = {index for index, (ch, _) in enumerate(self.inputs)
                 if not ch.finished}
-        if live.issubset(self._aligned_channels):
-            self._snapshot_and_ack(checkpoint_id)
-            self._broadcast(CheckpointBarrier(checkpoint_id))
+        if not live.issubset(self._aligned_channels):
+            return
+        checkpoint_id = self._aligning_checkpoint
+        self._snapshot_and_ack(checkpoint_id)
+        self._broadcast(CheckpointBarrier(checkpoint_id))
+        for index in self._aligned_channels:
+            self.inputs[index][0].blocked = False
+        self._aligning_checkpoint = None
+        self._aligned_channels = set()
+
+    def abort_checkpoint(self, checkpoint_id: int) -> None:
+        """Coordinator notification: ``checkpoint_id`` was aborted.
+        Unblock any channels held by its alignment and ignore its
+        barriers from now on."""
+        self._min_checkpoint_id = max(self._min_checkpoint_id,
+                                      checkpoint_id + 1)
+        if self.pending_checkpoint == checkpoint_id:
+            self.pending_checkpoint = None
+        if self._aligning_checkpoint == checkpoint_id:
             for index in self._aligned_channels:
                 self.inputs[index][0].blocked = False
             self._aligning_checkpoint = None
             self._aligned_channels = set()
 
+    def notify_checkpoint_complete(self, checkpoint_id: int) -> None:
+        """Coordinator notification: ``checkpoint_id`` is durably
+        complete.  Transactional sinks commit their pre-committed
+        transactions on this signal."""
+        for chained in self.chain:
+            chained.operator.notify_checkpoint_complete(checkpoint_id)
+
     def _snapshot_and_ack(self, checkpoint_id: int) -> None:
+        # Pre-snapshot hook: transactional sinks rotate (pre-commit)
+        # their transaction here, at the exact barrier cut.
+        for chained in self.chain:
+            chained.operator.on_checkpoint(checkpoint_id)
         snapshot = TaskSnapshot(
             self.subtask_id,
             keyed_state={str(i): chained.backend.snapshot()
@@ -413,6 +529,11 @@ class Task:
         self.pending_checkpoint = None
         self.finished = False
         self.failed = None
+        # A restart is a fresh attempt: the quarantine budget resets and
+        # any not-yet-consumed chaos poison is discarded (the poisoned
+        # records are replayed clean).
+        self._attempt_dead_letters = 0
+        self.poison_next_records = 0
 
     # -- end of input -------------------------------------------------------
 
@@ -421,6 +542,9 @@ class Task:
         channel.finished = True
         self._channel_watermarks[channel_index] = MAX_TIMESTAMP
         self._recompute_combined_watermark()
+        # A channel that finished mid-alignment will never deliver its
+        # barrier; re-check so the alignment can complete without it.
+        self._maybe_complete_alignment()
         if self._all_inputs_finished():
             self._finish_task()
 

@@ -45,15 +45,37 @@ class PendingCheckpoint:
             raise ValueError("a checkpoint needs at least one participant")
         self.checkpoint_id = checkpoint_id
         self.trigger_time = trigger_time
+        self.abort_reason: Optional[str] = None
         self._expected = set(expected)
         self._snapshots: Dict[SubtaskId, TaskSnapshot] = {}
 
     def acknowledge(self, snapshot: TaskSnapshot) -> None:
+        if self.aborted:
+            raise RuntimeError(
+                "checkpoint %d was aborted (%s); late ack from %r"
+                % (self.checkpoint_id, self.abort_reason, snapshot.subtask))
         if snapshot.subtask not in self._expected:
             raise ValueError(
                 "unexpected ack from %r for checkpoint %d"
                 % (snapshot.subtask, self.checkpoint_id))
         self._snapshots[snapshot.subtask] = snapshot
+
+    def abort(self, reason: str) -> None:
+        """Mark this checkpoint as failed; collected snapshots are
+        discarded by the coordinator.  Aborting is how the coordinator
+        survives wedges (a participant finishing before acking, a
+        barrier lost to a stalled source) instead of silently never
+        checkpointing again."""
+        self.abort_reason = reason
+
+    @property
+    def aborted(self) -> bool:
+        return self.abort_reason is not None
+
+    def is_expired(self, now: int, timeout_ms: Optional[int]) -> bool:
+        """Whether this checkpoint has been in flight longer than the
+        coordinator tolerates."""
+        return timeout_ms is not None and now - self.trigger_time > timeout_ms
 
     @property
     def is_complete(self) -> bool:
@@ -64,6 +86,9 @@ class PendingCheckpoint:
         return self._expected - set(self._snapshots)
 
     def seal(self, completion_time: int) -> "CompletedCheckpoint":
+        if self.aborted:
+            raise RuntimeError("cannot seal aborted checkpoint %d (%s)"
+                               % (self.checkpoint_id, self.abort_reason))
         if not self.is_complete:
             raise RuntimeError(
                 "checkpoint %d still waiting on %r"

@@ -232,3 +232,45 @@ class TestConnectors:
         for word, count in result.get():
             finals[word] = count
         assert finals["to"] == 2 and finals["be"] == 2
+
+
+class TestConnectorErrorPaths:
+    """Connector failures must name the path (and line) so a dead-letter
+    queue entry or a stack trace is actionable on its own."""
+
+    def test_missing_file_names_path(self, tmp_path):
+        missing = str(tmp_path / "nope.txt")
+        for factory in (text_file_lines(missing), csv_records(missing),
+                        jsonl_records(missing)):
+            with pytest.raises(FileNotFoundError, match="nope.txt"):
+                next(iter(factory()))
+
+    def test_malformed_jsonl_names_path_and_line(self, tmp_path):
+        path = str(tmp_path / "data.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"ok": 1}\n{not json}\n')
+        with pytest.raises(ValueError, match=r"data\.jsonl:2"):
+            list(jsonl_records(path)())
+
+    def test_csv_width_mismatch_names_path_and_line(self, tmp_path):
+        path = str(tmp_path / "data.csv")
+        with open(path, "w") as handle:
+            handle.write("a,b\n1,2\n3,4,5\n")
+        with pytest.raises(ValueError, match=r"data\.csv:3"):
+            list(csv_records(path)())
+
+    def test_csv_type_conversion_failure_names_path_and_line(self, tmp_path):
+        path = str(tmp_path / "data.csv")
+        with open(path, "w") as handle:
+            handle.write("score\nten\n")
+        with pytest.raises(ValueError, match=r"data\.csv:2"):
+            list(csv_records(path, types={"score": int})())
+
+    def test_file_sinks_close_atomically(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        sink = TextFileSink(path)
+        sink("line")
+        sink.close()
+        assert not os.path.exists(path + ".tmp")
+        with open(path) as handle:
+            assert handle.read() == "line\n"

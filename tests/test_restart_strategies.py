@@ -1,0 +1,85 @@
+"""Unit tests for the restart-strategy policies (pure, no engine)."""
+
+import pytest
+
+from repro.runtime.restart import (
+    ExponentialBackoffRestart,
+    FailureRateRestart,
+    FixedDelayRestart,
+    NoRestart,
+)
+
+
+class TestNoRestart:
+    def test_always_gives_up(self):
+        strategy = NoRestart()
+        assert strategy.on_failure(0) is None
+        assert strategy.on_failure(1000) is None
+
+
+class TestFixedDelay:
+    def test_grants_up_to_max_restarts(self):
+        strategy = FixedDelayRestart(max_restarts=3, delay_ms=7)
+        assert [strategy.on_failure(i) for i in range(4)] == [7, 7, 7, None]
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            FixedDelayRestart(max_restarts=0)
+        with pytest.raises(ValueError):
+            FixedDelayRestart(delay_ms=-1)
+
+
+class TestExponentialBackoff:
+    def test_delay_doubles_and_caps(self):
+        strategy = ExponentialBackoffRestart(initial_delay_ms=10,
+                                             max_delay_ms=50, multiplier=2.0)
+        delays = [strategy.on_failure(0) for _ in range(5)]
+        assert delays == [10, 20, 40, 50, 50]
+
+    def test_unbounded_attempts_by_default(self):
+        strategy = ExponentialBackoffRestart(initial_delay_ms=1,
+                                             max_delay_ms=8)
+        assert all(strategy.on_failure(0) is not None for _ in range(100))
+
+    def test_bounded_attempts(self):
+        strategy = ExponentialBackoffRestart(initial_delay_ms=1,
+                                             max_delay_ms=8, max_restarts=2)
+        assert strategy.on_failure(0) == 1
+        assert strategy.on_failure(0) == 2
+        assert strategy.on_failure(0) is None
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ExponentialBackoffRestart(initial_delay_ms=10, max_delay_ms=5)
+        with pytest.raises(ValueError):
+            ExponentialBackoffRestart(multiplier=0.5)
+
+
+class TestFailureRate:
+    def test_tolerates_sparse_failures_forever(self):
+        strategy = FailureRateRestart(max_failures_per_interval=2,
+                                      interval_ms=100, delay_ms=3)
+        # One failure every 200ms never clusters.
+        assert all(strategy.on_failure(t) == 3
+                   for t in range(0, 2000, 200))
+
+    def test_gives_up_on_clustered_failures(self):
+        strategy = FailureRateRestart(max_failures_per_interval=2,
+                                      interval_ms=100, delay_ms=3)
+        assert strategy.on_failure(10) == 3
+        assert strategy.on_failure(20) == 3
+        assert strategy.on_failure(30) is None  # 3 failures inside 100ms
+
+    def test_window_slides(self):
+        strategy = FailureRateRestart(max_failures_per_interval=2,
+                                      interval_ms=100, delay_ms=3)
+        assert strategy.on_failure(0) == 3
+        assert strategy.on_failure(50) == 3
+        # The first failure aged out of the window by t=150.
+        assert strategy.on_failure(150) == 3
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            FailureRateRestart(max_failures_per_interval=0)
+        with pytest.raises(ValueError):
+            FailureRateRestart(interval_ms=0)
