@@ -108,13 +108,13 @@ def test_e11b_flatfat_vs_linear(benchmark):
 def reorder_ablation():
     """What the FIFO-restoring stage costs on already-ordered input, and
     the buffer it needs on out-of-order input."""
-    import random
+    from conftest import bench_rng
     from repro.api import StreamExecutionEnvironment
     from repro.cutty import PeriodicWindows
     from repro.time.watermarks import WatermarkStrategy
     from repro.windowing import CountAggregate
 
-    rng = random.Random(9)
+    rng = bench_rng("e11-reorder")
     ordered = [("k", 1, ts) for ts in range(0, 8000, 4)]
     shuffled = sorted(ordered,
                       key=lambda v: v[2] + rng.randint(0, 100))

@@ -13,10 +13,9 @@ Expected shape (asserted):
 * at m=64 the shared/unshared-eager gap exceeds 100x.
 """
 
-import random
-
 import pytest
 
+from conftest import bench_rng
 from harness import dense_stream, format_table, record, run_aggregator
 from repro.cutty import CuttyAggregator, PeriodicWindows, SharedCuttyAggregator
 from repro.cutty.baselines import (
@@ -32,7 +31,7 @@ STREAM = dense_stream(5_000)
 
 
 def _query_sizes(count):
-    rng = random.Random(42)
+    rng = bench_rng("e2-query-sizes")
     return {("q%d" % index): rng.choice([500, 1000, 2000, 4000])
             for index in range(count)}
 

@@ -12,10 +12,9 @@ Expected shape (asserted):
 * Cutty keeps at least 10x fewer live partials than B-Int.
 """
 
-import random
-
 import pytest
 
+from conftest import bench_rng
 from harness import format_table, record, run_aggregator
 from repro.cutty import CuttyAggregator, SessionWindows
 from repro.cutty.baselines import BIntAggregator, LazyRecomputeAggregator
@@ -25,9 +24,9 @@ from repro.windowing.aggregates import SumAggregate
 GAPS = [50, 200, 1000]
 
 
-def bursty_stream(count=20_000, seed=7):
+def bursty_stream(count=20_000, name="e3-bursty"):
     """Bursts of activity separated by quiet periods: session structure."""
-    rng = random.Random(seed)
+    rng = bench_rng(name)
     ts = 0
     stream = []
     for _ in range(count):

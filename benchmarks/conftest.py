@@ -1,6 +1,25 @@
-"""Make the benchmarks directory importable as plain modules."""
+"""Make the benchmarks directory importable as plain modules, and give
+every benchmark a bit-reproducible RNG.
+
+All benchmark randomness routes through :func:`bench_rng`, which derives
+a :class:`random.Random` from the repository-wide root seed
+(``REPRO_SEED`` environment variable, default 0) and a per-call-site
+name via :mod:`repro.testing.seeds` -- the same derivation the
+differential fuzz harness and the property tests use, so a single
+``REPRO_SEED`` pins benchmarks and tests alike.
+"""
 
 import os
+import random
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src"))
+
+from repro.testing.seeds import root_seed, rng_for  # noqa: E402
+
+
+def bench_rng(*path) -> random.Random:
+    """The RNG for one named benchmark workload, pinned by REPRO_SEED."""
+    return rng_for(root_seed(), "bench", *path)

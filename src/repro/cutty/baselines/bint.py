@@ -117,7 +117,9 @@ class BIntAggregator:
         any_time = any_count = False
         for query_id in self._queries:
             pending = self._pending[query_id]
-            horizon = (next(iter(pending.values())) if pending else math.inf)
+            # Horizon in the query's own domain: count-window pendings
+            # are keyed by start seq, time-window pendings by start ts.
+            horizon = (next(iter(pending)) if pending else math.inf)
             if self._domain_index(query_id) == 1:
                 any_count = True
                 count_horizon = min(count_horizon, horizon)

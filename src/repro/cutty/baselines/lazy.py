@@ -110,7 +110,10 @@ class LazyRecomputeAggregator:
         for query_id in self._queries:
             pending = self._pending[query_id]
             domain_is_count = self._domain(query_id) == "count"
-            horizon = (next(iter(pending.values())) if pending else math.inf)
+            # The horizon must live in the query's own domain: count
+            # windows are keyed by start *sequence number* (the begin
+            # point is a timestamp and must not be compared to seq).
+            horizon = (next(iter(pending)) if pending else math.inf)
             if domain_is_count:
                 any_count = True
                 count_horizon = min(count_horizon, horizon)

@@ -23,10 +23,14 @@ class ExponentialHistogram:
             raise ValueError("eps must be in (0, 1]")
         self.window = window
         self.eps = eps
-        # Allow k buckets of each size before merging: k = ceil(1/(2 eps))
-        # gives relative error at most eps.
+        # Allow k buckets of each size before merging.  A merge fires at
+        # k + 1 buckets of one size and leaves k - 1, so the per-size
+        # floor is k - 1; the classic 1/(2k') relative-error analysis
+        # therefore needs k' = k - 1 = ceil(1/(2 eps)) to guarantee
+        # error at most eps (k = ceil(1/(2 eps)) alone lets a size class
+        # run empty and the straddling-bucket correction overshoot).
         import math
-        self.k = max(1, math.ceil(1.0 / (2.0 * eps)))
+        self.k = math.ceil(1.0 / (2.0 * eps)) + 1
         # Buckets: (timestamp of most recent event, size), newest first.
         self._buckets: Deque[Tuple[int, int]] = deque()
         self._last_ts: int = -(2**62)

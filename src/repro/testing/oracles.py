@@ -1,0 +1,540 @@
+"""Differential oracles: evaluate one generated spec several independent
+ways and diff the results.
+
+Each oracle owns one equivalence claim of the system:
+
+* ``cutty``        -- Cutty's sliced sharing == naive recompute == every
+                      baseline strategy able to run the spec (eager,
+                      lazy, pairs, panes, B-Int, unshared);
+* ``batch-stream`` -- the STREAMLINE uniform-model claim on grouped
+                      aggregation: naive recompute == the batch path
+                      (``runtime/batch.py`` operators) == the streaming
+                      path (keyed rolling fold), on one engine;
+* ``windows``      -- keyed event-time windowing three ways: naive
+                      recompute == batch (window assignment as a batch
+                      flat-map + group-reduce) == the streaming
+                      ``WindowOperator`` fed out-of-order data under
+                      bounded-out-of-orderness watermarks;
+* ``session-merge``-- session-window merge semantics of
+                      ``windowing/assigners.py`` against a sort-and-merge
+                      reference, over gap patterns sitting on the merge
+                      boundary;
+* ``replay``       -- determinism under failure: a job crash-restored
+                      mid-stream from its latest checkpoint produces the
+                      same output set as the uninterrupted run.
+
+An oracle turns an RNG into a :class:`Case` (JSON-able params + a plain
+list-of-tuples stream) and turns a case into either ``None`` (pass) or a
+human-readable mismatch description.  Cases are data so the shrinker can
+mutate the stream and re-check.
+
+Exactness note: engine oracles set the watermark out-of-orderness bound
+to ``profile.ooo_bound + 2``.  With the bound at least 2 above the real
+jitter, no element can arrive late *and* no session window can fire
+before a mergeable element arrives (watermarks are monotone and trail
+the per-subtask maximum by the bound), so stream results equal the batch
+recompute exactly -- no tolerance windows in the comparison.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.api.environment import StreamExecutionEnvironment
+from repro.cutty.baselines import applicable_strategies, build_strategy
+from repro.runtime.engine import EngineConfig
+from repro.testing import reference
+from repro.testing.generators import (
+    FILTER_FNS,
+    MAP_FNS,
+    StreamProfile,
+    generate_elements,
+    generate_gap_pattern_elements,
+    generate_in_order_stream,
+    make_aggregate,
+    make_assigner,
+    make_spec,
+    random_aggregate_name,
+    random_assigner_params,
+    random_pipeline_params,
+    random_query_set,
+)
+from repro.time.watermarks import WatermarkStrategy
+
+
+class Case:
+    """One generated differential-test input, fully described by data."""
+
+    def __init__(self, oracle_name: str, root_seed: int, index: int,
+                 params: Dict[str, Any],
+                 stream: List[tuple]) -> None:
+        self.oracle_name = oracle_name
+        self.root_seed = root_seed
+        self.index = index
+        self.params = params
+        self.stream = stream
+
+    @property
+    def seed_line(self) -> str:
+        return ("seed=%d oracle=%s case=%d"
+                % (self.root_seed, self.oracle_name, self.index))
+
+    def with_stream(self, stream: List[tuple]) -> "Case":
+        return Case(self.oracle_name, self.root_seed, self.index,
+                    self.params, stream)
+
+    def __repr__(self) -> str:
+        return "Case(%s, params=%r, |stream|=%d)" % (self.seed_line,
+                                                     self.params,
+                                                     len(self.stream))
+
+
+class Oracle:
+    """Generate cases; judge cases."""
+
+    name = "oracle"
+
+    def generate(self, rng: random.Random, root_seed: int,
+                 index: int) -> Case:
+        raise NotImplementedError
+
+    def check(self, case: Case) -> Optional[str]:
+        """``None`` when every evaluation path agrees, else a mismatch
+        description."""
+        raise NotImplementedError
+
+    def case_from(self, params: Dict[str, Any], stream: List[tuple],
+                  root_seed: int = -1, index: int = -1) -> Case:
+        """Rebuild a case from its printed repro data."""
+        return Case(self.name, root_seed, index, params,
+                    [tuple(element) for element in stream])
+
+
+def _diff(expected: Dict, got: Dict, label: str) -> Optional[str]:
+    """First few differences between two result dicts, or ``None``."""
+    if expected == got:
+        return None
+    lines = ["%s disagrees with reference:" % label]
+    missing = sorted((k for k in expected if k not in got), key=repr)[:3]
+    spurious = sorted((k for k in got if k not in expected), key=repr)[:3]
+    changed = sorted((k for k in expected
+                      if k in got and got[k] != expected[k]), key=repr)[:3]
+    for key in missing:
+        lines.append("  missing %r (expected %r)" % (key, expected[key]))
+    for key in spurious:
+        lines.append("  spurious %r = %r" % (key, got[key]))
+    for key in changed:
+        lines.append("  at %r expected %r, got %r"
+                     % (key, expected[key], got[key]))
+    return "\n".join(lines)
+
+
+# -- Cutty cross-strategy fuzzing --------------------------------------------
+
+def _mutate_value(value: Any) -> Any:
+    """The deliberate bug injected by ``--mutate``: perturb a window
+    result so the harness must notice and shrink it."""
+    if isinstance(value, bool) or not isinstance(value, (int, float, dict)):
+        return ("mutated", value)
+    if isinstance(value, dict):
+        mutated = dict(value)
+        mutated["count"] = mutated.get("count", 0) + 1
+        return mutated
+    return value + 1
+
+
+class CuttyStrategyOracle(Oracle):
+    """Cutty vs naive reference vs every applicable baseline strategy."""
+
+    name = "cutty"
+
+    def __init__(self, mutate: Optional[str] = None) -> None:
+        #: Name of a strategy whose results are deliberately corrupted
+        #: (mutation smoke for the harness itself).
+        self.mutate = mutate
+
+    def generate(self, rng: random.Random, root_seed: int,
+                 index: int) -> Case:
+        params = {
+            "queries": random_query_set(rng),
+            "aggregate": random_aggregate_name(rng),
+        }
+        # Delta/punctuation splits between equal-timestamp elements have
+        # no timestamp-boundary representation (strategies legitimately
+        # disagree on zero-width windows), so those specs get strictly
+        # increasing timestamps; the rest keep equal-ts bursts.
+        kinds = {spec_params["kind"]
+                 for spec_params in params["queries"].values()}
+        min_gap = 1 if kinds & {"delta", "punctuation"} else 0
+        stream = generate_in_order_stream(rng, n=rng.randint(3, 140),
+                                          min_gap=min_gap)
+        return Case(self.name, root_seed, index, params, stream)
+
+    def _run_strategy(self, strategy_name: str, case: Case) -> Dict:
+        aggregate_name = case.params["aggregate"]
+        specs = {query_id: make_spec(spec_params)
+                 for query_id, spec_params
+                 in case.params["queries"].items()}
+        aggregator = build_strategy(
+            strategy_name, lambda: make_aggregate(aggregate_name), specs)
+        mutate = self.mutate == strategy_name
+        results: Dict[Tuple[Any, Any, Any], Any] = {}
+        last_ts = max((ts for _, ts in case.stream), default=0)
+        emissions = []
+        for value, ts in case.stream:
+            emissions.extend(aggregator.insert(value, ts))
+        emissions.extend(aggregator.flush(last_ts))
+        for result in emissions:
+            value = _mutate_value(result.value) if mutate else result.value
+            results[(result.query_id, result.start, result.end)] = value
+        return results
+
+    def check(self, case: Case) -> Optional[str]:
+        queries = case.params["queries"]
+        aggregate_name = case.params["aggregate"]
+        expected: Dict[Tuple[Any, Any, Any], Any] = {}
+        for query_id, spec_params in queries.items():
+            for window, value in reference.spec_windows(
+                    spec_params, case.stream, aggregate_name).items():
+                expected[(query_id,) + window] = value
+        kinds = [spec_params["kind"] for spec_params in queries.values()]
+        for strategy_name in applicable_strategies(kinds):
+            got = self._run_strategy(strategy_name, case)
+            mismatch = _diff(expected, got, "strategy=%s" % strategy_name)
+            if mismatch is not None:
+                return ("%s\n  queries=%r aggregate=%s"
+                        % (mismatch, queries, aggregate_name))
+        return None
+
+
+# -- batch/stream equivalence ------------------------------------------------
+
+def _stream_fold(keyed, aggregate_name: str):
+    """The streaming-side rolling aggregation for one GROUP_AGG name."""
+    if aggregate_name == "sum":
+        return keyed.fold(0, lambda acc, kv: acc + kv[1])
+    if aggregate_name == "count":
+        return keyed.fold(0, lambda acc, _kv: acc + 1)
+    if aggregate_name == "min":
+        return keyed.fold(None, lambda acc, kv:
+                          kv[1] if acc is None else min(acc, kv[1]))
+    if aggregate_name == "max":
+        return keyed.fold(None, lambda acc, kv:
+                          kv[1] if acc is None else max(acc, kv[1]))
+    raise ValueError("unsupported stream aggregate %r" % aggregate_name)
+
+
+class BatchStreamOracle(Oracle):
+    """Grouped aggregation: naive == DataSet (batch) == DataStream."""
+
+    name = "batch-stream"
+
+    def generate(self, rng: random.Random, root_seed: int,
+                 index: int) -> Case:
+        params = {"pipeline": random_pipeline_params(rng)}
+        profile = StreamProfile.random(rng, max_elements=120)
+        stream = [(key, value)
+                  for key, value, _ in generate_elements(rng, profile)]
+        return Case(self.name, root_seed, index, params, stream)
+
+    def check(self, case: Case) -> Optional[str]:
+        pipeline = case.params["pipeline"]
+        map_fn = MAP_FNS[pipeline["map"]]
+        filter_fn = FILTER_FNS[pipeline["filter"]]
+        aggregate_name = pipeline["agg"]
+        parallelism = pipeline["parallelism"]
+        data = list(case.stream)
+
+        expected = reference.grouped_pipeline(data, map_fn, filter_fn,
+                                              aggregate_name)
+
+        batch_env = StreamExecutionEnvironment(parallelism=parallelism)
+        batch_result = (
+            batch_env.from_bounded(data)
+            .map(lambda kv: (kv[0], map_fn(kv[1])))
+            .filter(lambda kv: filter_fn(kv[1]))
+            .group_by(lambda kv: kv[0])
+            .reduce_group(lambda key, kvs: (key, reference.apply_aggregate(
+                aggregate_name, [value for _, value in kvs])))
+            .collect())
+        batch_env.execute()
+        batch = dict(batch_result.get())
+        mismatch = _diff(expected, batch, "batch path")
+        if mismatch is not None:
+            return "%s\n  pipeline=%r" % (mismatch, pipeline)
+
+        stream_env = StreamExecutionEnvironment(parallelism=parallelism)
+        keyed = (stream_env.from_collection(data)
+                 .map(lambda kv: (kv[0], map_fn(kv[1])))
+                 .filter(lambda kv: filter_fn(kv[1]))
+                 .key_by(lambda kv: kv[0]))
+        stream_result = _stream_fold(keyed, aggregate_name).collect()
+        stream_env.execute()
+        streaming: Dict[Any, Any] = {}
+        for key, accumulator in stream_result.get():
+            streaming[key] = accumulator  # per-key order: last emit wins
+        mismatch = _diff(expected, streaming, "streaming path")
+        if mismatch is not None:
+            return "%s\n  pipeline=%r" % (mismatch, pipeline)
+        return None
+
+
+# -- keyed event-time windows, three ways ------------------------------------
+
+class _ValueProjectingAggregate:
+    """Window aggregates see the raw ``(key, value, ts)`` record; this
+    adapter feeds only the payload value to the wrapped aggregate."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+
+    def create_accumulator(self):
+        return self.inner.create_accumulator()
+
+    def add(self, record, accumulator):
+        return self.inner.add(record[1], accumulator)
+
+    def merge(self, acc1, acc2):
+        return self.inner.merge(acc1, acc2)
+
+    def get_result(self, accumulator):
+        return self.inner.get_result(accumulator)
+
+
+def _watermarked(env, elements: List[tuple], bound: int):
+    strategy = WatermarkStrategy.for_bounded_out_of_orderness(
+        lambda element: element[2], bound)
+    return (env.from_collection(elements)
+            .assign_timestamps_and_watermarks(strategy)
+            .key_by(lambda element: element[0]))
+
+
+def _window_results_to_dict(results) -> Dict[Tuple[Any, int, int], Any]:
+    out = {}
+    for result in results:
+        out[(result.key, result.window.start, result.window.end)] = (
+            result.value)
+    return out
+
+
+def run_streaming_windows(elements: List[tuple],
+                          assigner_params: Dict[str, Any],
+                          aggregate_name: str, ooo_bound: int,
+                          parallelism: int = 2,
+                          config: Optional[EngineConfig] = None,
+                          ) -> Tuple[Dict[Tuple[Any, int, int], Any], Any]:
+    """One streaming window job; returns (results dict, JobResult)."""
+    env = StreamExecutionEnvironment(parallelism=parallelism,
+                                     config=config or EngineConfig())
+    collected = (_watermarked(env, elements, ooo_bound + 2)
+                 .window(make_assigner(assigner_params))
+                 .aggregate(_ValueProjectingAggregate(
+                     make_aggregate(aggregate_name)))
+                 .collect())
+    job = env.execute()
+    return _window_results_to_dict(collected.get()), job
+
+
+class WindowedEquivalenceOracle(Oracle):
+    """Naive == batch flat-map/group-reduce == streaming WindowOperator."""
+
+    name = "windows"
+
+    def generate(self, rng: random.Random, root_seed: int,
+                 index: int) -> Case:
+        profile = StreamProfile.random(rng, max_elements=110)
+        params = {
+            "assigner": random_assigner_params(rng),
+            "aggregate": random_aggregate_name(rng, ("sum", "count", "min",
+                                                     "max")),
+            "ooo_bound": profile.ooo_bound,
+            "parallelism": rng.choice([1, 2]),
+        }
+        return Case(self.name, root_seed, index, params,
+                    generate_elements(rng, profile))
+
+    def _batch_windows(self, case: Case) -> Dict[Tuple[Any, int, int], Any]:
+        assigner_params = case.params["assigner"]
+        aggregate_name = case.params["aggregate"]
+        env = StreamExecutionEnvironment(
+            parallelism=case.params["parallelism"])
+        dataset = env.from_bounded(list(case.stream))
+        if assigner_params["kind"] == "session":
+            gap = assigner_params["gap"]
+            collected = (
+                dataset.group_by(lambda element: element[0])
+                .reduce_group(lambda key, members: (key, members))
+                .flat_map(lambda key_members: [
+                    ((key_members[0], start, end), value)
+                    for (start, end), value in reference.spec_windows(
+                        {"kind": "session", "gap": gap},
+                        sorted(((value, ts)
+                                for _, value, ts in key_members[1]),
+                               key=lambda pair: pair[1]),
+                        aggregate_name).items()])
+                .collect())
+            env.execute()
+            return {coords: value for coords, value in collected.get()}
+        assigner = make_assigner(assigner_params)
+        collected = (
+            dataset.flat_map(lambda element: [
+                ((element[0], window.start, window.end), element[1])
+                for window in assigner.assign(element[1], element[2])])
+            .group_by(lambda pair: pair[0])
+            .reduce_group(lambda coords, pairs: (coords,
+                                                 reference.apply_aggregate(
+                                                     aggregate_name,
+                                                     [v for _, v in pairs])))
+            .collect())
+        env.execute()
+        return {coords: value for coords, value in collected.get()}
+
+    def check(self, case: Case) -> Optional[str]:
+        assigner_params = case.params["assigner"]
+        aggregate_name = case.params["aggregate"]
+        expected = reference.keyed_windows(assigner_params, case.stream,
+                                           aggregate_name)
+        batch = self._batch_windows(case)
+        mismatch = _diff(expected, batch, "batch path")
+        if mismatch is not None:
+            return "%s\n  assigner=%r" % (mismatch, assigner_params)
+        streaming, _ = run_streaming_windows(
+            list(case.stream), assigner_params, aggregate_name,
+            case.params["ooo_bound"], case.params["parallelism"])
+        mismatch = _diff(expected, streaming, "streaming path")
+        if mismatch is not None:
+            return "%s\n  assigner=%r" % (mismatch, assigner_params)
+        return None
+
+
+# -- session-window merge semantics ------------------------------------------
+
+class SessionMergeOracle(Oracle):
+    """Streaming session windows vs the sort-and-merge reference, over
+    gap patterns concentrated on the merge boundary."""
+
+    name = "session-merge"
+
+    def generate(self, rng: random.Random, root_seed: int,
+                 index: int) -> Case:
+        gap = rng.randint(2, 40)
+        ooo_bound = rng.choice([0, 0, 2, gap // 2, gap])
+        params = {
+            "assigner": {"kind": "session", "gap": gap},
+            "aggregate": random_aggregate_name(rng, ("sum", "count", "min",
+                                                     "max")),
+            "ooo_bound": ooo_bound,
+            "parallelism": rng.choice([1, 2]),
+        }
+        stream = generate_gap_pattern_elements(
+            rng, gap, n=rng.randint(3, 120),
+            num_keys=rng.randint(1, 4), ooo_bound=ooo_bound)
+        return Case(self.name, root_seed, index, params, stream)
+
+    def check(self, case: Case) -> Optional[str]:
+        expected = reference.keyed_windows(case.params["assigner"],
+                                           case.stream,
+                                           case.params["aggregate"])
+        streaming, _ = run_streaming_windows(
+            list(case.stream), case.params["assigner"],
+            case.params["aggregate"], case.params["ooo_bound"],
+            case.params["parallelism"])
+        mismatch = _diff(expected, streaming, "session merge")
+        if mismatch is not None:
+            return ("%s\n  gap=%d ooo_bound=%d"
+                    % (mismatch, case.params["assigner"]["gap"],
+                       case.params["ooo_bound"]))
+        return None
+
+
+# -- determinism / replay ----------------------------------------------------
+
+def make_crash_once_hook(min_checkpoints: int, at_round: int):
+    """A failure hook that crashes the job exactly once, after at least
+    ``min_checkpoints`` completed checkpoints and ``at_round`` rounds."""
+    state = {"fired": False}
+
+    def hook(engine, rounds):
+        if (not state["fired"]
+                and len(engine.checkpoint_store) >= min_checkpoints
+                and rounds >= at_round):
+            state["fired"] = True
+            return True
+        return False
+
+    hook.state = state
+    return hook
+
+
+class ReplayOracle(Oracle):
+    """Crash-restore mid-stream == uninterrupted run (output-set
+    equality; the collect sink is at-least-once, so sets, not bags)."""
+
+    name = "replay"
+
+    def generate(self, rng: random.Random, root_seed: int,
+                 index: int) -> Case:
+        profile = StreamProfile.random(rng, max_elements=90)
+        params = {
+            "assigner": random_assigner_params(rng,
+                                               ("tumbling", "sliding",
+                                                "session")),
+            "aggregate": random_aggregate_name(rng, ("sum", "count", "min",
+                                                     "max")),
+            "ooo_bound": profile.ooo_bound,
+            "parallelism": rng.choice([1, 2]),
+            "crash_fraction": rng.choice([0.25, 0.5, 0.75]),
+        }
+        return Case(self.name, root_seed, index, params,
+                    generate_elements(rng, profile))
+
+    def check(self, case: Case) -> Optional[str]:
+        params = case.params
+        clean_config = EngineConfig(checkpoint_interval_ms=5,
+                                    elements_per_step=4)
+        clean, clean_job = run_streaming_windows(
+            list(case.stream), params["assigner"], params["aggregate"],
+            params["ooo_bound"], params["parallelism"], clean_config)
+
+        at_round = max(5, int(clean_job.rounds * params["crash_fraction"]))
+        hook = make_crash_once_hook(min_checkpoints=1, at_round=at_round)
+        crash_config = EngineConfig(checkpoint_interval_ms=5,
+                                    elements_per_step=4,
+                                    failure_hook=hook)
+        replayed, _ = run_streaming_windows(
+            list(case.stream), params["assigner"], params["aggregate"],
+            params["ooo_bound"], params["parallelism"], crash_config)
+
+        clean_set = set(clean.items())
+        replay_set = set(replayed.items())
+        if clean_set == replay_set:
+            return None
+        lost = sorted(clean_set - replay_set, key=repr)[:4]
+        extra = sorted(replay_set - clean_set, key=repr)[:4]
+        return ("replay diverged after crash at round %d (fired=%s):\n"
+                "  lost: %r\n  extra: %r\n  assigner=%r ooo_bound=%d"
+                % (at_round, hook.state["fired"], lost, extra,
+                   params["assigner"], params["ooo_bound"]))
+
+
+# -- registry ----------------------------------------------------------------
+
+ORACLE_FACTORIES: Dict[str, Callable[..., Oracle]] = {
+    CuttyStrategyOracle.name: CuttyStrategyOracle,
+    BatchStreamOracle.name: BatchStreamOracle,
+    WindowedEquivalenceOracle.name: WindowedEquivalenceOracle,
+    SessionMergeOracle.name: SessionMergeOracle,
+    ReplayOracle.name: ReplayOracle,
+}
+
+DEFAULT_ORACLE_NAMES = tuple(ORACLE_FACTORIES)
+
+
+def make_oracle(name: str, **kwargs: Any) -> Oracle:
+    try:
+        factory = ORACLE_FACTORIES[name]
+    except KeyError:
+        raise ValueError("unknown oracle %r (have: %s)"
+                         % (name, ", ".join(sorted(ORACLE_FACTORIES))))
+    return factory(**kwargs)

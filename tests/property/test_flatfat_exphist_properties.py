@@ -1,0 +1,137 @@
+"""Property tests for FlatFAT and the exponential histogram, driven by
+the differential harness's seeded generators (``repro.testing``).
+
+FlatFAT invariants:
+
+* any interleaving of append / update / evict_front leaves every range
+  query equal to a strictly left-to-right fold over the live leaves
+  (checked with a non-commutative aggregate, so ordering mistakes and
+  ring-wrap bugs cannot cancel out);
+* a tree rebuilt from scratch from the current live leaves answers
+  every query identically to the incrementally-maintained tree.
+
+Exponential histogram invariant (Datar et al.): the estimate of the
+sliding-window count stays within the configured relative error of the
+exact count.
+"""
+
+import pytest
+
+from repro.cutty.flatfat import FlatFAT
+from repro.ml.exphist import ExponentialHistogram
+from repro.testing.generators import generate_in_order_stream
+from repro.testing.seeds import rng_for
+from repro.windowing.aggregates import SumAggregate
+
+
+class ConcatAggregate:
+    """Non-commutative merge: catches any right-to-left or wrapped
+    combine that a sum would silently absorb."""
+
+    def merge(self, left, right):
+        return left + right
+
+
+def _fold(values):
+    result = None
+    for value in values:
+        result = value if result is None else result + value
+    return result
+
+
+def _random_ops(rng, num_ops):
+    """Drive a FlatFAT and a plain-list model through the same ops."""
+    tree = FlatFAT(ConcatAggregate(), initial_capacity=2)
+    model = {}  # absolute index -> value, for live leaves
+    next_value = 0
+    for _ in range(num_ops):
+        op = rng.choice(["append", "append", "append", "update", "evict"])
+        if op == "append" or not model:
+            index = tree.append("(%d)" % next_value)
+            model[index] = "(%d)" % next_value
+            next_value += 1
+        elif op == "update":
+            index = rng.choice(sorted(model))
+            replacement = "[%d]" % next_value
+            next_value += 1
+            tree.update(index, replacement)
+            model[index] = replacement
+        else:
+            new_front = tree.front_index + rng.randint(0, max(1, len(model)))
+            tree.evict_front(new_front)
+            for index in [i for i in model if i < new_front]:
+                del model[index]
+    return tree, model
+
+
+@pytest.mark.parametrize("case_index", range(12))
+def test_flatfat_range_queries_match_left_to_right_fold(case_index):
+    rng = rng_for(0, "flatfat-ops", case_index)
+    tree, model = _random_ops(rng, num_ops=rng.randint(10, 120))
+    live = sorted(model)
+    assert tree.size == len(live)
+    for _ in range(30):
+        lo = rng.randint(tree.front_index - 2, tree.back_index + 2)
+        hi = rng.randint(lo, tree.back_index + 2)
+        expected = _fold([model[i] for i in live if lo <= i < hi])
+        assert tree.query(lo, hi) == expected
+    assert tree.query_all() == _fold([model[i] for i in live])
+
+
+@pytest.mark.parametrize("case_index", range(12))
+def test_flatfat_incremental_equals_rebuild(case_index):
+    rng = rng_for(0, "flatfat-rebuild", case_index)
+    tree, model = _random_ops(rng, num_ops=rng.randint(10, 150))
+    live = sorted(model)
+
+    rebuilt = FlatFAT(ConcatAggregate(), initial_capacity=2)
+    for _ in range(tree.front_index):  # realign absolute indices
+        rebuilt.append(None)
+    rebuilt.evict_front(tree.front_index)
+    for index in live:
+        appended = rebuilt.append(model[index])
+        assert appended == index
+
+    assert rebuilt.query_all() == tree.query_all()
+    for _ in range(25):
+        lo = rng.randint(tree.front_index, tree.back_index + 1)
+        hi = rng.randint(lo, tree.back_index + 1)
+        assert rebuilt.query(lo, hi) == tree.query(lo, hi)
+
+
+def test_flatfat_growth_preserves_sum():
+    tree = FlatFAT(SumAggregate(), initial_capacity=2)
+    for value in range(100):
+        tree.append(value)
+    assert tree.query_all() == sum(range(100))
+    tree.evict_front(90)
+    assert tree.query_all() == sum(range(90, 100))
+
+
+@pytest.mark.parametrize("case_index", range(8))
+@pytest.mark.parametrize("eps", [0.5, 0.2, 0.05])
+def test_exphist_estimate_within_relative_error_bound(case_index, eps):
+    rng = rng_for(0, "exphist", str(eps), case_index)
+    window = rng.randint(10, 300)
+    histogram = ExponentialHistogram(window, eps=eps)
+    timestamps = [ts for _, ts in generate_in_order_stream(
+        rng, n=rng.randint(20, 400), max_gap=rng.choice([1, 4, 9]))]
+    for position, ts in enumerate(timestamps):
+        histogram.add(ts)
+        now = ts
+        exact = sum(1 for t in timestamps[:position + 1]
+                    if now - window < t <= now)
+        estimate = histogram.estimate(now)
+        # Relative error bound, with +1 slack for the integer floor of
+        # the half-bucket correction at tiny counts.
+        assert abs(estimate - exact) <= eps * exact + 1, (
+            "eps=%s window=%d now=%d exact=%d estimate=%d"
+            % (eps, window, now, exact, estimate))
+
+
+def test_exphist_space_stays_logarithmic():
+    histogram = ExponentialHistogram(window=10_000, eps=0.1)
+    for ts in range(5_000):
+        histogram.add(ts)
+    # At most k * (log2(N) + 1) buckets for N = 5000 events.
+    assert histogram.num_buckets <= histogram.k * 14

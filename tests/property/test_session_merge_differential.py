@@ -1,0 +1,71 @@
+"""Differential pinning of session-window merge semantics.
+
+Two layers, both over generated gap patterns that cluster on the merge
+boundary (``gap - 1``, ``gap``, ``gap + 1``):
+
+* assigner + ``merge_windows`` directly against the sort-and-merge
+  reference (``repro.testing.reference``) -- pins the *rule*: an element
+  joins a session iff its timestamp is at most ``last + gap``, i.e.
+  touching proto-windows merge;
+* the full streaming pipeline through the session-merge oracle -- pins
+  the same rule end-to-end under out-of-order arrival and watermarks.
+"""
+
+import pytest
+
+from repro.testing.generators import generate_gap_pattern_elements
+from repro.testing.oracles import SessionMergeOracle
+from repro.testing.reference import keyed_windows
+from repro.testing.seeds import rng_for
+from repro.windowing.assigners import EventTimeSessionWindows
+from repro.windowing.windows import TimeWindow, merge_windows
+
+
+def _merged_sessions_via_assigner(elements, gap):
+    """Session windows computed the operator's way: per-element proto
+    windows from the assigner, merged with ``merge_windows``."""
+    assigner = EventTimeSessionWindows.with_gap(gap)
+    per_key = {}
+    for key, value, ts in elements:
+        for window in assigner.assign(value, ts):
+            per_key.setdefault(key, []).append(window)
+    result = set()
+    for key, windows in per_key.items():
+        for group in merge_windows(windows):
+            cover = group[0]
+            for window in group[1:]:
+                cover = cover.cover(window)
+            result.add((key, cover.start, cover.end))
+    return result
+
+
+@pytest.mark.parametrize("case_index", range(15))
+def test_assigner_merge_matches_sort_and_merge_reference(case_index):
+    rng = rng_for(0, "session-assigner", case_index)
+    gap = rng.randint(2, 50)
+    elements = generate_gap_pattern_elements(rng, gap,
+                                             n=rng.randint(2, 120),
+                                             num_keys=rng.randint(1, 4))
+    expected = set(keyed_windows({"kind": "session", "gap": gap},
+                                 elements, "count"))
+    assert _merged_sessions_via_assigner(elements, gap) == expected
+
+
+def test_touching_proto_windows_merge_exactly_at_gap():
+    # ts=0 and ts=gap produce proto windows [0, gap) and [gap, 2*gap):
+    # touching, so one merge group; ts=gap+1 must start a new session.
+    gap = 10
+    groups = merge_windows([TimeWindow(0, gap), TimeWindow(gap, 2 * gap)])
+    assert len(groups) == 1 and len(groups[0]) == 2
+    groups = merge_windows([TimeWindow(0, gap),
+                            TimeWindow(gap + 1, 2 * gap + 1)])
+    assert len(groups) == 2
+
+
+@pytest.mark.parametrize("case_index", range(6))
+def test_streaming_session_merge_oracle(case_index):
+    oracle = SessionMergeOracle()
+    rng = rng_for(0, oracle.name, case_index)
+    case = oracle.generate(rng, 0, case_index)
+    mismatch = oracle.check(case)
+    assert mismatch is None, "%s\n%s" % (case.seed_line, mismatch)
