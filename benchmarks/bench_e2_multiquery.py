@@ -13,10 +13,18 @@ Expected shape (asserted):
 * at m=64 the shared/unshared-eager gap exceeds 100x.
 """
 
+import time
+
 import pytest
 
 from conftest import bench_rng
-from harness import dense_stream, format_table, record, run_aggregator
+from harness import (
+    dense_stream,
+    format_table,
+    record,
+    record_json,
+    run_aggregator,
+)
 from repro.cutty import CuttyAggregator, PeriodicWindows, SharedCuttyAggregator
 from repro.cutty.baselines import (
     EagerPerWindowAggregator,
@@ -80,8 +88,34 @@ def sweep():
     return table
 
 
+def build_payload():
+    """Machine-readable E2 result: the deterministic ops/record table
+    (the regression-checked metric -- independent of machine speed) plus
+    an informational wall-clock rate for the m=64 shared run.  Reused by
+    benchmarks/perf_smoke.py; the pipeline here is aggregator-level, so
+    batched transport does not apply and mode is always "scalar"."""
+    table = sweep()
+    sizes = _query_sizes(64)
+    start = time.perf_counter()
+    _run_shared(sizes)
+    elapsed = time.perf_counter() - start
+    return {
+        "experiment": "e2_multiquery_sharing",
+        "mode": "scalar",
+        "records": len(STREAM),
+        "ops_per_record": {"%s@%d" % key: round(value, 4)
+                           for key, value in table.items()},
+        "shared_m64_records_per_sec": round(len(STREAM) / elapsed, 1),
+        "shared_m64_seconds": round(elapsed, 4),
+        "p50_round_latency_ms": None,   # no engine rounds at this level
+        "p99_round_latency_ms": None,
+    }, table
+
+
 def test_e2_multi_query_sharing(benchmark):
-    table = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    payload, table = benchmark.pedantic(build_payload,
+                                        iterations=1, rounds=1)
+    record_json("e2", payload)
 
     names = ["shared-cutty", "unshared-cutty", "unshared-eager"]
     rows = [[count] + [table[(name, count)] for name in names]

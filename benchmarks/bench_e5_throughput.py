@@ -1,4 +1,5 @@
-"""E5 -- End-to-end engine throughput: shared vs. unshared windowing.
+"""E5 -- End-to-end engine throughput: shared vs. unshared windowing,
+and batched vs. scalar record transport.
 
 The wall-clock complement to E2: the same three concurrent sliding
 window queries run through the full pipeline (source -> keyBy -> window
@@ -8,18 +9,33 @@ single shared CuttyWindowOperator.
 Expected shape (asserted): the shared operator sustains at least 1.5x
 the records/second of the unshared job (the gap widens with more/larger
 queries; three modest queries keep this bench fast).
+
+The batched-vs-scalar bench measures the record-batch dataflow on a
+stateless pipeline with real channels (rebalance + global edges) and
+asserts the >= 3x records/sec win; both modes' numbers land in the
+committed ``BENCH_e5.json`` baseline the CI perf-smoke job diffs.
 """
+
+import time
 
 import pytest
 
-from harness import format_table, record
+from harness import RoundLatencyProbe, format_table, record, record_json
 from repro.api import StreamExecutionEnvironment
 from repro.api.stream import DataStream
 from repro.cutty import CuttyWindowOperator, PeriodicWindows
+from repro.runtime.engine import EngineConfig
 from repro.windowing import SlidingEventTimeWindows, SumAggregate
 
 QUERIES = [(1000, 100), (1500, 100), (2000, 100)]
 EVENTS = [(1, ts) for ts in range(8_000)]
+
+#: The batched-transport workload: large enough that per-element channel
+#: overhead dominates the scalar run, with step budget and channel
+#: capacity scaled so whole batches fit through each round.
+BATCH_RECORDS = 60_000
+BATCH_SIZE = 1024
+BATCH_ENGINE_OPTS = dict(elements_per_step=2048, channel_capacity=16_384)
 
 
 def run_unshared():
@@ -51,6 +67,80 @@ def run_shared():
     results = DataStream(env, node).collect()
     env.execute()
     return len(results.get())
+
+
+def _run_transport_mode(batch_size):
+    """One stateless pipeline run; returns (payload dict, output)."""
+    probe = RoundLatencyProbe()
+    config = EngineConfig(batch_size=batch_size, cancel_hook=probe,
+                          **BATCH_ENGINE_OPTS)
+    env = StreamExecutionEnvironment(config=config)
+    result = (env.from_collection(list(range(BATCH_RECORDS)))
+              .rebalance()
+              .map(lambda x: x + 1)
+              .filter(lambda x: x % 2 == 0)
+              .map(lambda x: x * 3)
+              .global_()
+              .collect())
+    start = time.perf_counter()
+    env.execute()
+    elapsed = time.perf_counter() - start
+    payload = {
+        "mode": "batched" if batch_size > 1 else "scalar",
+        "batch_size": batch_size,
+        "records": BATCH_RECORDS,
+        "seconds": round(elapsed, 4),
+        "records_per_sec": round(BATCH_RECORDS / elapsed, 1),
+        "p50_round_latency_ms": round(probe.p50_ms(), 4),
+        "p99_round_latency_ms": round(probe.p99_ms(), 4),
+    }
+    return payload, result.get()
+
+
+def run_batched_vs_scalar(rounds=3):
+    """Both transport modes on the identical pipeline; the payload that
+    becomes BENCH_e5.json.  Reused by benchmarks/perf_smoke.py.
+
+    Each mode runs ``rounds`` times and reports its fastest round (the
+    usual noise-floor treatment: scheduler hiccups only ever slow a run
+    down), so the gated speedup ratio is stable across runs."""
+    scalar, scalar_out = _run_transport_mode(1)
+    batched, batched_out = _run_transport_mode(BATCH_SIZE)
+    # Multiset equality: the global sink merges two rebalanced upstream
+    # subtasks, and batching only changes that merge's granularity.
+    assert sorted(batched_out) == sorted(scalar_out)
+    for _ in range(rounds - 1):
+        candidate, _ = _run_transport_mode(1)
+        if candidate["records_per_sec"] > scalar["records_per_sec"]:
+            scalar = candidate
+        candidate, _ = _run_transport_mode(BATCH_SIZE)
+        if candidate["records_per_sec"] > batched["records_per_sec"]:
+            batched = candidate
+    speedup = batched["records_per_sec"] / scalar["records_per_sec"]
+    return {
+        "experiment": "e5_batched_vs_scalar",
+        "pipeline": "source -> rebalance -> map -> filter -> map "
+                    "-> global -> collect",
+        "engine": dict(BATCH_ENGINE_OPTS),
+        "modes": {"scalar": scalar, "batched": batched},
+        "speedup_batched_vs_scalar": round(speedup, 2),
+    }
+
+
+def test_e5_batched_vs_scalar(benchmark):
+    payload = benchmark.pedantic(run_batched_vs_scalar,
+                                 iterations=1, rounds=1)
+    scalar = payload["modes"]["scalar"]
+    batched = payload["modes"]["batched"]
+    record("e5_batched_transport", format_table(
+        ["mode", "records/s", "p50 round ms", "p99 round ms", "seconds"],
+        [[mode["mode"], mode["records_per_sec"],
+          mode["p50_round_latency_ms"], mode["p99_round_latency_ms"],
+          mode["seconds"]] for mode in (scalar, batched)],
+        title="E5: batched vs scalar record transport, %d records "
+              "(batch_size=%d)" % (BATCH_RECORDS, BATCH_SIZE)))
+    record_json("e5", payload)
+    assert payload["speedup_batched_vs_scalar"] >= 3.0
 
 
 def test_e5_unshared_window_operators(benchmark):

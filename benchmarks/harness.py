@@ -9,10 +9,15 @@ factor) part of the test contract rather than prose.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Any, Dict, Iterable, List, Sequence
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+#: Machine-readable baselines live at the repo root (committed, diffed
+#: by the CI perf-smoke job).
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
@@ -53,6 +58,64 @@ def record(experiment: str, text: str) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text + "\n")
     print("\n" + text)
+
+
+def bench_json_path(experiment: str) -> str:
+    return os.path.join(REPO_ROOT, "BENCH_%s.json" % experiment)
+
+
+def record_json(experiment: str, payload: Dict[str, Any]) -> str:
+    """Persist a machine-readable result as ``BENCH_<exp>.json`` at the
+    repo root -- the committed baseline the CI perf-smoke job diffs
+    fresh runs against."""
+    path = bench_json_path(experiment)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % path)
+    return path
+
+
+def load_json(experiment: str) -> Optional[Dict[str, Any]]:
+    """The committed baseline for one experiment, or ``None``."""
+    path = bench_json_path(experiment)
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]) of a non-empty sequence."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class RoundLatencyProbe:
+    """An ``EngineConfig.cancel_hook`` that timestamps every scheduler
+    round, yielding the p50/p99 round latency of a run -- the proxy for
+    end-to-end latency jitter that batching trades against throughput."""
+
+    def __init__(self) -> None:
+        self._stamps: List[float] = []
+
+    def __call__(self, engine, rounds) -> bool:
+        self._stamps.append(time.perf_counter())
+        return False
+
+    def latencies_ms(self) -> List[float]:
+        stamps = self._stamps
+        return [(stamps[i] - stamps[i - 1]) * 1000.0
+                for i in range(1, len(stamps))]
+
+    def p50_ms(self) -> float:
+        return percentile(self.latencies_ms(), 0.50)
+
+    def p99_ms(self) -> float:
+        return percentile(self.latencies_ms(), 0.99)
 
 
 def dense_stream(count: int, gap_ms: int = 1) -> List:

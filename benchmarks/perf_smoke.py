@@ -1,0 +1,151 @@
+"""Perf-regression smoke harness: refresh or check BENCH_*.json.
+
+Usage::
+
+    python benchmarks/perf_smoke.py                  # refresh baselines
+    python benchmarks/perf_smoke.py --profile        # + cProfile top-25
+    python benchmarks/perf_smoke.py --check-baseline # CI gate
+
+``--check-baseline`` reruns the benches and compares the fresh numbers
+against the *committed* ``BENCH_e5.json`` / ``BENCH_e2.json`` at the
+repo root, exiting nonzero on a >25% regression.  Only machine-portable
+metrics are gated:
+
+* **e5**: the batched/scalar speedup *ratio* -- both runs share the
+  same machine, so the ratio cancels out absolute CPU speed;
+* **e2**: the deterministic aggregate-ops/record table -- a logical
+  cost model independent of wall clock entirely.
+
+Absolute records/sec and round latencies are recorded for humans but
+never gated (CI runners vary too much).  ``--check-baseline`` never
+overwrites the committed files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import os
+import pstats
+import sys
+from typing import List, Optional
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+for path in (_HERE, os.path.join(os.path.dirname(_HERE), "src")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from harness import load_json, record_json  # noqa: E402
+
+#: A fresh-vs-baseline metric may degrade by at most this fraction.
+TOLERANCE = 0.25
+
+
+def run_benches():
+    """Fresh payloads for both experiments (no files written)."""
+    import bench_e2_multiquery
+    import bench_e5_throughput
+
+    e5 = bench_e5_throughput.run_batched_vs_scalar()
+    e2, _ = bench_e2_multiquery.build_payload()
+    return e5, e2
+
+
+def check_baseline(e5, e2) -> List[str]:
+    """Compare fresh payloads to the committed baselines; returns the
+    list of regression messages (empty == pass)."""
+    problems: List[str] = []
+
+    baseline_e5 = load_json("e5")
+    if baseline_e5 is None:
+        problems.append("BENCH_e5.json baseline missing -- run "
+                        "`python benchmarks/perf_smoke.py` and commit it")
+    else:
+        fresh = e5["speedup_batched_vs_scalar"]
+        committed = baseline_e5["speedup_batched_vs_scalar"]
+        floor = committed * (1.0 - TOLERANCE)
+        print("e5 speedup: fresh %.2fx vs baseline %.2fx (floor %.2fx)"
+              % (fresh, committed, floor))
+        if fresh < floor:
+            problems.append(
+                "e5 batched/scalar speedup regressed: %.2fx < %.2fx "
+                "(baseline %.2fx - 25%%)" % (fresh, floor, committed))
+
+    baseline_e2 = load_json("e2")
+    if baseline_e2 is None:
+        problems.append("BENCH_e2.json baseline missing -- run "
+                        "`python benchmarks/perf_smoke.py` and commit it")
+    else:
+        for key, committed in sorted(baseline_e2["ops_per_record"].items()):
+            fresh = e2["ops_per_record"].get(key)
+            if fresh is None:
+                problems.append("e2 metric %s missing from fresh run" % key)
+                continue
+            # Logical cost: higher == worse.  Deterministic, so any
+            # drift beyond rounding means the cost model changed.
+            ceiling = committed * (1.0 + TOLERANCE)
+            if fresh > ceiling:
+                problems.append(
+                    "e2 ops/record for %s regressed: %.4f > %.4f "
+                    "(baseline %.4f + 25%%)"
+                    % (key, fresh, ceiling, committed))
+        print("e2 ops/record: %d metrics within +25%% of baseline"
+              % len(baseline_e2["ops_per_record"]))
+
+    return problems
+
+
+def profile_batched_run() -> None:
+    """cProfile the batched e5 pipeline; prints top 25 by cumulative
+    time -- the quick answer to 'where did the cycles go'."""
+    import bench_e5_throughput
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    bench_e5_throughput.run_batched_vs_scalar()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/perf_smoke.py",
+        description="Run the perf smoke benches; refresh or gate on the "
+                    "committed BENCH_*.json baselines.")
+    parser.add_argument("--check-baseline", action="store_true",
+                        help="compare a fresh run against the committed "
+                             "baselines; exit 1 on >25%% regression "
+                             "(never overwrites the baselines)")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the batched e5 pipeline and print "
+                             "the top 25 functions by cumulative time")
+    args = parser.parse_args(argv)
+
+    if args.profile:
+        profile_batched_run()
+        if not args.check_baseline:
+            return 0
+
+    e5, e2 = run_benches()
+    print("e5: scalar %.0f rec/s, batched %.0f rec/s, speedup %.2fx"
+          % (e5["modes"]["scalar"]["records_per_sec"],
+             e5["modes"]["batched"]["records_per_sec"],
+             e5["speedup_batched_vs_scalar"]))
+
+    if args.check_baseline:
+        problems = check_baseline(e5, e2)
+        if problems:
+            for problem in problems:
+                print("REGRESSION: %s" % problem)
+            return 1
+        print("perf smoke: OK")
+        return 0
+
+    record_json("e5", e5)
+    record_json("e2", e2)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,11 @@ from repro.runtime.operators import Operator, OperatorContext
 from repro.windowing.aggregates import AggregateFunction
 
 
+#: Distinct-from-everything sentinel for the batched per-key-run cache
+#: (``None`` is a legitimate key).
+_NO_KEY = object()
+
+
 class CuttyWindowResult(NamedTuple):
     """Emission format: one window of one query for one key."""
 
@@ -72,6 +77,34 @@ class CuttyWindowOperator(Operator):
                 CuttyWindowResult(key, result.query_id, result.start,
                                   result.end, result.value),
                 timestamp=record.timestamp)
+
+    def process_batch(self, records) -> None:
+        # Keyed channels deliver long same-key runs (hash routing groups
+        # per batch), so cache the aggregator across a run instead of
+        # paying a dict lookup per record.  Record-for-record identical
+        # to process(): per-key FIFO order is preserved and each
+        # emission carries its triggering record's timestamp.
+        ctx = self.ctx
+        emit = ctx.emit
+        set_key = ctx.backend.set_current_key
+        current_key = _NO_KEY
+        insert = None
+        for record in records:
+            ts = record.timestamp
+            if ts is None:
+                raise ValueError(
+                    "Cutty windowing requires timestamped records; "
+                    "use assign_timestamps_and_watermarks() upstream")
+            key = record.key
+            if insert is None or key != current_key:
+                current_key = key
+                set_key(key)
+                insert = self._aggregator_for(key).insert
+            ctx.current_timestamp = ts
+            for result in insert(record.value, ts):
+                emit(CuttyWindowResult(key, result.query_id, result.start,
+                                       result.end, result.value),
+                     timestamp=ts)
 
     def finish(self) -> None:
         for key in sorted(self._per_key, key=repr):

@@ -126,6 +126,24 @@ class SharedCuttyAggregator:
         self.counter.partials.set(self.live_slices)
         return results
 
+    def insert_many(self, items) -> List[CuttyResult]:
+        """Process a run of in-order ``(value, ts)`` pairs in one call.
+
+        The slicing protocol is inherently per-element (every element
+        may cut a slice boundary), so this is the per-element loop with
+        the dispatch hoisted and all completed windows appended into a
+        single result list -- the bulk entry point batched callers use
+        instead of allocating one list per record.
+        """
+        insert = self.insert
+        results: List[CuttyResult] = []
+        extend = results.extend
+        for value, ts in items:
+            out = insert(value, ts)
+            if out:
+                extend(out)
+        return results
+
     def flush(self, max_ts: Optional[int] = None) -> List[CuttyResult]:
         """End-of-stream: emit every window the specs still owe, up to
         ``max_ts`` (defaults to the maximum timestamp seen)."""

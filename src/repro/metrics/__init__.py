@@ -6,6 +6,7 @@ from repro.metrics.metrics import (
     Gauge,
     Histogram,
     MetricGroup,
+    OperatorStats,
     ThroughputTracker,
     merge_counter_maps,
     merge_gauge_maps,
@@ -17,6 +18,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricGroup",
+    "OperatorStats",
     "ThroughputTracker",
     "merge_counter_maps",
     "merge_gauge_maps",

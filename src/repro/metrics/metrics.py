@@ -271,6 +271,47 @@ class AggregationCostCounter:
                                       self.max_live_partials))
 
 
+class OperatorStats:
+    """Per-operator throughput profile for ``operator_profiling`` runs.
+
+    ``time_ns`` is *inclusive* of downstream chained operators: the
+    chain dispatches synchronously, so the head operator's time contains
+    everything it triggered.  Sort by it to find the hot operator, but
+    do not sum across a chain.
+    """
+
+    __slots__ = ("name", "records_in", "records_out", "batches", "time_ns")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.records_in = 0
+        self.records_out = 0
+        self.batches = 0
+        self.time_ns = 0
+
+    def merge(self, other: "OperatorStats") -> None:
+        """Fold another subtask's stats for the same operator into this
+        one (job-level aggregation across parallel instances)."""
+        self.records_in += other.records_in
+        self.records_out += other.records_out
+        self.batches += other.batches
+        self.time_ns += other.time_ns
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "name": self.name,
+            "records_in": self.records_in,
+            "records_out": self.records_out,
+            "batches": self.batches,
+            "time_ns": self.time_ns,
+        }
+
+    def __repr__(self) -> str:
+        return ("OperatorStats(%s, in=%d, out=%d, batches=%d, ms=%.3f)"
+                % (self.name, self.records_in, self.records_out,
+                   self.batches, self.time_ns / 1e6))
+
+
 class ThroughputTracker:
     """Tracks records processed against a (simulated or wall) clock."""
 

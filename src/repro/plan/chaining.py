@@ -12,13 +12,59 @@ here).  The pass greedily fuses maximal chains, subject to:
 * the upstream node has exactly one outgoing edge (fan-out breaks them).
 
 E11 ablates this pass (``chaining=False``) to quantify its payoff.
+
+This module also hosts the second, *intra*-chain fusion level used by
+batched execution (:func:`compile_batch_chain`): within one task's
+operator chain, a maximal prefix of stateless operators is compiled into
+a single records-in/records-out function, so a batch pays one Python
+call per operator instead of one call per record per operator.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.plan.graph import JobEdge, JobGraph, JobVertex, StreamGraph
+
+#: A pure batch transform: list of Records in, list of Records out.
+BatchTransform = Callable[[List[Any]], List[Any]]
+
+
+def compile_batch_chain(operators: List[Any]
+                        ) -> Tuple[Optional[BatchTransform], int]:
+    """Fuse the longest stateless prefix of an operator chain.
+
+    Returns ``(fused_fn, prefix_len)``: ``fused_fn`` runs the first
+    ``prefix_len`` operators of the chain over a whole record batch in
+    one call (``None`` when no operator at the head is fusable).  An
+    operator joins the prefix by returning a transform from
+    :meth:`~repro.runtime.operators.Operator.make_batch_transform`;
+    anything stateful, timer-driven, watermark-emitting or two-input
+    returns ``None`` there and terminates the prefix.  Record batches
+    never straddle watermark/barrier boundaries, so reordering the
+    per-operator loops into per-batch loops cannot change what any
+    operator observes.
+    """
+    transforms: List[BatchTransform] = []
+    for operator in operators:
+        transform = operator.make_batch_transform()
+        if transform is None:
+            break
+        transforms.append(transform)
+    if not transforms:
+        return None, 0
+    if len(transforms) == 1:
+        return transforms[0], 1
+    transform_tuple = tuple(transforms)
+
+    def fused(records: List[Any]) -> List[Any]:
+        for transform in transform_tuple:
+            records = transform(records)
+            if not records:
+                break
+        return records
+
+    return fused, len(transforms)
 
 
 def build_job_graph(stream_graph: StreamGraph,

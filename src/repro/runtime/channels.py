@@ -12,6 +12,14 @@ barriers: once a barrier for checkpoint *n* arrives on a channel, the
 receiving task blocks that channel until barriers arrived on all of its
 inputs, preserving the exactly-once cut of asynchronous barrier
 snapshotting.
+
+Occupancy accounting is *record-denominated*: a
+:class:`~repro.runtime.elements.RecordBatch` of *n* records weighs *n*
+against capacity, so backpressure thresholds mean the same thing in
+batched and scalar execution.  The occupancy is maintained as a plain
+integer on push/poll -- the scheduler's runnable scan reads ``size`` and
+``has_capacity`` once per task per round, and must not pay a recount per
+element.
 """
 
 from __future__ import annotations
@@ -22,10 +30,15 @@ from typing import Deque, Optional
 from repro.runtime.elements import StreamElement
 
 
+def element_weight(element: StreamElement) -> int:
+    """Records carried by one channel element (control elements weigh 1)."""
+    return len(element.records) if element.is_batch else 1
+
+
 class Channel:
     """A FIFO between one upstream and one downstream subtask."""
 
-    __slots__ = ("name", "capacity", "_queue", "pushed", "polled",
+    __slots__ = ("name", "capacity", "_queue", "size", "pushed", "polled",
                  "blocked", "finished")
 
     def __init__(self, name: str, capacity: int = 128) -> None:
@@ -34,6 +47,8 @@ class Channel:
         self.name = name
         self.capacity = capacity
         self._queue: Deque[StreamElement] = deque()
+        #: Cached record-denominated occupancy, updated on push/poll.
+        self.size = 0
         self.pushed = 0          # lifetime counters, reported as metrics
         self.polled = 0
         self.blocked = False     # barrier alignment: reads suspended
@@ -41,14 +56,35 @@ class Channel:
 
     def push(self, element: StreamElement) -> None:
         self._queue.append(element)
-        self.pushed += 1
+        weight = len(element.records) if element.is_batch else 1
+        self.size += weight
+        self.pushed += weight
 
     def poll(self) -> Optional[StreamElement]:
         """Dequeue the next element, or ``None`` when empty/blocked."""
         if self.blocked or not self._queue:
             return None
-        self.polled += 1
-        return self._queue.popleft()
+        element = self._queue.popleft()
+        weight = len(element.records) if element.is_batch else 1
+        self.size -= weight
+        self.polled += weight
+        return element
+
+    def requeue_front(self, element: StreamElement) -> None:
+        """Put the unprocessed remainder of a split batch back at the
+        head of the queue.
+
+        Budget-exact stepping: a task that polls a batch bigger than its
+        remaining step budget processes only the records it has budget
+        for and returns the rest here, so ``elements_per_step`` throttles
+        identically in batched and scalar mode (backpressure dynamics --
+        and everything observing them -- stay comparable).  Reverses the
+        poll-side accounting so ``pushed``/``polled`` still balance.
+        """
+        weight = len(element.records) if element.is_batch else 1
+        self._queue.appendleft(element)
+        self.size += weight
+        self.polled -= weight
 
     def peek(self) -> Optional[StreamElement]:
         if self.blocked or not self._queue:
@@ -56,16 +92,12 @@ class Channel:
         return self._queue[0]
 
     @property
-    def size(self) -> int:
-        return len(self._queue)
-
-    @property
     def is_empty(self) -> bool:
         return not self._queue
 
     @property
     def has_capacity(self) -> bool:
-        return len(self._queue) < self.capacity
+        return self.size < self.capacity
 
     @property
     def readable(self) -> bool:
@@ -74,6 +106,7 @@ class Channel:
     def clear(self) -> None:
         """Drop all buffered elements (used on failure/restore)."""
         self._queue.clear()
+        self.size = 0
         self.blocked = False
         self.finished = False
 
@@ -82,16 +115,27 @@ class Channel:
     @property
     def has_buffered_record(self) -> bool:
         """Whether at least one *data* record (not a barrier, watermark or
-        EOS) is buffered -- the only elements chaos may drop/duplicate."""
-        return any(element.is_record for element in self._queue)
+        EOS) is buffered -- the only elements chaos may drop/duplicate.
+        Records inside batches count."""
+        return any(element.is_record
+                   or (element.is_batch and element.records)
+                   for element in self._queue)
 
     def drop_one_record(self) -> bool:
         """Remove the oldest buffered data record (simulated network
         loss); control elements are never dropped, their loss would wedge
-        alignment rather than exercise recovery."""
+        alignment rather than exercise recovery.  For a batched channel
+        the oldest record is carved out of its batch in place."""
         for index, element in enumerate(self._queue):
             if element.is_record:
                 del self._queue[index]
+                self.size -= 1
+                return True
+            if element.is_batch and element.records:
+                element.records.pop(0)
+                if not element.records:
+                    del self._queue[index]
+                self.size -= 1
                 return True
         return False
 
@@ -101,10 +145,15 @@ class Channel:
         for index, element in enumerate(self._queue):
             if element.is_record:
                 self._queue.insert(index, element)
+                self.size += 1
+                return True
+            if element.is_batch and element.records:
+                element.records.insert(0, element.records[0])
+                self.size += 1
                 return True
         return False
 
     def __repr__(self) -> str:
         state = "blocked" if self.blocked else ("finished" if self.finished
                                                 else "open")
-        return "Channel(%s, size=%d, %s)" % (self.name, len(self._queue), state)
+        return "Channel(%s, size=%d, %s)" % (self.name, self.size, state)

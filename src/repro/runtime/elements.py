@@ -19,7 +19,7 @@ end of a bounded input.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, List, Optional
 
 MIN_TIMESTAMP = -(2**62)
 MAX_TIMESTAMP = 2**62
@@ -32,6 +32,10 @@ class StreamElement:
 
     @property
     def is_record(self) -> bool:
+        return False
+
+    @property
+    def is_batch(self) -> bool:
         return False
 
     @property
@@ -83,6 +87,41 @@ class Record(StreamElement):
     def __hash__(self) -> int:
         return hash((self.value if not isinstance(self.value, (list, dict))
                      else id(self.value), self.timestamp))
+
+
+class RecordBatch(StreamElement):
+    """A run of consecutive :class:`Record`\\ s travelling as one element.
+
+    Batches exist purely on the wire: producers coalesce the records
+    emitted between two control elements (watermark, barrier,
+    end-of-stream) and consumers unpack them, so a batch never straddles
+    a control boundary.  That invariant is what keeps barrier alignment,
+    watermark propagation and replay determinism bit-identical to the
+    element-at-a-time path -- the batch frontier (the watermark state
+    records inside it were emitted under) is exactly the frontier of the
+    element preceding the batch, so no in-band frontier field is needed.
+
+    For flow control a batch weighs ``len(records)`` against channel
+    capacity, keeping backpressure record-denominated in both modes.
+    """
+
+    __slots__ = ("records",)
+
+    def __init__(self, records: List["Record"]) -> None:
+        self.records = records
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return "RecordBatch(n=%d)" % len(self.records)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RecordBatch) and self.records == other.records
+
+    @property
+    def is_batch(self) -> bool:
+        return True
 
 
 class Watermark(StreamElement):

@@ -23,9 +23,15 @@ unaffected by physical parallelism.
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
-from repro.metrics import MetricGroup, merge_counter_maps, merge_gauge_maps
+from repro.metrics import (
+    MetricGroup,
+    OperatorStats,
+    merge_counter_maps,
+    merge_gauge_maps,
+)
 from repro.runtime.channels import Channel
 from repro.runtime.elements import MAX_TIMESTAMP
 from repro.runtime.partition import ForwardPartitioner
@@ -44,11 +50,32 @@ if TYPE_CHECKING:  # imported lazily to avoid a plan <-> runtime cycle
 
 
 class EngineConfig:
-    """Tunables of the execution loop."""
+    """Tunables of the execution loop.
+
+    ``elements_per_step`` is denominated in *records* regardless of
+    execution mode: a :class:`~repro.runtime.elements.RecordBatch` of
+    *n* records spends *n* of the step budget, exactly like *n* scalar
+    records, so tuning it means the same amount of per-round work
+    whether ``batch_size`` is 1 or 1024.  A batch larger than a task's
+    remaining budget is split at the budget boundary (the tail returns
+    to the channel head), so the throttle -- and the backpressure
+    dynamics it drives -- is record-exact in both modes.
+
+    ``batch_size`` switches between scalar execution (1, the default:
+    every record travels as its own channel element) and batched
+    execution (>1: chain tails coalesce up to that many records into
+    one ``RecordBatch`` per channel push).  ``None`` reads the
+    ``REPRO_BATCH_SIZE`` environment variable (default 1), which is how
+    the differential test harness runs unmodified pipelines in both
+    modes.  Results are element-for-element identical either way --
+    batching is purely a mechanical-sympathy knob.
+    """
 
     def __init__(self,
                  channel_capacity: int = 128,
                  elements_per_step: int = 32,
+                 batch_size: Optional[int] = None,
+                 operator_profiling: bool = False,
                  tick_ms: int = 1,
                  checkpoint_interval_ms: Optional[int] = None,
                  max_retained_checkpoints: int = 3,
@@ -65,6 +92,10 @@ class EngineConfig:
             raise ValueError("channel_capacity must be >= 1")
         if elements_per_step < 1:
             raise ValueError("elements_per_step must be >= 1")
+        if batch_size is None:
+            batch_size = int(os.environ.get("REPRO_BATCH_SIZE", "1"))
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         if tick_ms < 0:
             raise ValueError("tick_ms must be >= 0")
         if checkpoint_interval_ms is not None and checkpoint_interval_ms <= 0:
@@ -79,6 +110,12 @@ class EngineConfig:
             raise ValueError("quarantine_threshold must be >= 0")
         self.channel_capacity = channel_capacity
         self.elements_per_step = elements_per_step
+        self.batch_size = batch_size
+        #: Wrap every operator with per-operator throughput counters
+        #: (records in/out, batches, inclusive time); read the profile
+        #: from :meth:`Engine.operator_stats` after execution.  Disables
+        #: chain fusion so the counters stay exact per operator.
+        self.operator_profiling = operator_profiling
         self.tick_ms = tick_ms
         self.checkpoint_interval_ms = checkpoint_interval_ms
         self.max_retained_checkpoints = max_retained_checkpoints
@@ -104,6 +141,10 @@ class EngineConfig:
         self.quarantine_threshold = quarantine_threshold
         #: Deterministic fault injection (see :mod:`repro.runtime.faults`).
         self.chaos = chaos
+
+
+#: Public alias: the fluent API docs talk about "execution config".
+ExecutionConfig = EngineConfig
 
 
 class JobFailedError(Exception):
@@ -213,7 +254,9 @@ class Engine:
                 metrics = MetricGroup("%s.%d" % (vertex.name, index))
                 task = Task(vertex.name, vertex_id, index, vertex.parallelism,
                             operators, self.clock, metrics,
-                            elements_per_step=cfg.elements_per_step)
+                            elements_per_step=cfg.elements_per_step,
+                            batch_size=cfg.batch_size,
+                            operator_profiling=cfg.operator_profiling)
                 task.checkpoint_ack = self._acknowledge_checkpoint
                 task.quarantine_threshold = cfg.quarantine_threshold
                 task.dead_letter_collector = self._collect_dead_letter
@@ -401,6 +444,23 @@ class Engine:
             if snapshot is not None:
                 task.restore(snapshot)
         self.recoveries += 1
+
+    def operator_stats(self) -> List[OperatorStats]:
+        """Job-level per-operator throughput profile, merged across
+        parallel subtasks (requires ``operator_profiling=True``), in
+        first-seen (roughly topological) operator order."""
+        merged: Dict[str, OperatorStats] = {}
+        order: List[str] = []
+        for task in self.tasks:
+            for stats in task.operator_stats:
+                existing = merged.get(stats.name)
+                if existing is None:
+                    merged[stats.name] = combined = OperatorStats(stats.name)
+                    combined.merge(stats)
+                    order.append(stats.name)
+                else:
+                    existing.merge(stats)
+        return [merged[name] for name in order]
 
     # -- queryable state -----------------------------------------------------
 

@@ -104,6 +104,37 @@ class Operator:
         raise NotImplementedError(
             "%s is not a two-input operator" % type(self).__name__)
 
+    def process_batch(self, records: "List[Record]") -> None:
+        """Handle a run of consecutive input-0 records.
+
+        The contract mirrors what the task's per-record dispatcher does
+        before every :meth:`process` call: the operator must scope the
+        backend to each record's key and set ``ctx.current_timestamp``
+        before touching state or emitting.  The default does exactly
+        that in one loop; stateful operators override it to hoist
+        lookups or to amortise work across the batch (bulk appends,
+        per-key runs).  Semantics must stay record-for-record identical
+        to calling :meth:`process` in order.
+        """
+        ctx = self.ctx
+        set_key = ctx.backend.set_current_key
+        process = self.process
+        for record in records:
+            set_key(record.key)
+            ctx.current_timestamp = record.timestamp
+            process(record)
+
+    def make_batch_transform(self) -> "Optional[Callable[[List[Record]], List[Record]]]":
+        """A pure records-in/records-out function, or ``None``.
+
+        Only *stateless, timer-free, single-input* operators may return
+        one: the fused batch fast path composes these transforms into a
+        single Python-level call per batch per operator and routes the
+        result straight to the task outputs, bypassing the per-record
+        context bookkeeping (which stateless operators never read).
+        """
+        return None
+
     def on_watermark(self, timestamp: int) -> None:
         """Observe watermark advancement; due event-time timers have
         already fired.  The task forwards the watermark afterwards."""
@@ -313,6 +344,12 @@ class MapOperator(Operator):
     def process(self, record: Record) -> None:
         self.ctx.emit_record(record.with_value(self._fn(record.value)))
 
+    def make_batch_transform(self):
+        fn = self._fn
+        make = Record
+        return lambda records: [make(fn(r.value), r.timestamp, r.key)
+                                for r in records]
+
 
 class FlatMapOperator(Operator):
     def __init__(self, fn: Callable[[Any], Iterable[Any]],
@@ -325,6 +362,12 @@ class FlatMapOperator(Operator):
         for value in self._fn(record.value):
             self.ctx.emit_record(record.with_value(value))
 
+    def make_batch_transform(self):
+        fn = self._fn
+        make = Record
+        return lambda records: [make(value, r.timestamp, r.key)
+                                for r in records for value in fn(r.value)]
+
 
 class FilterOperator(Operator):
     def __init__(self, predicate: Callable[[Any], bool],
@@ -336,6 +379,10 @@ class FilterOperator(Operator):
     def process(self, record: Record) -> None:
         if self._predicate(record.value):
             self.ctx.emit_record(record)
+
+    def make_batch_transform(self):
+        predicate = self._predicate
+        return lambda records: [r for r in records if predicate(r.value)]
 
 
 # ---------------------------------------------------------------------------
@@ -572,6 +619,13 @@ class CollectSink(SinkOperator):
         else:
             self._bucket.append(record.value)
 
+    def process_batch(self, records: List[Record]) -> None:
+        # Terminal and stateless: one bulk extend instead of n appends.
+        if self._with_timestamps:
+            self._bucket.extend((r.value, r.timestamp) for r in records)
+        else:
+            self._bucket.extend(r.value for r in records)
+
 
 class ForEachSink(SinkOperator):
     """Invokes a callback per record; for side-effecting sinks."""
@@ -584,6 +638,11 @@ class ForEachSink(SinkOperator):
 
     def process(self, record: Record) -> None:
         self._fn(record.value)
+
+    def process_batch(self, records: List[Record]) -> None:
+        fn = self._fn
+        for record in records:
+            fn(record.value)
 
 
 # Imported late to avoid a cycle: watermarks -> elements only.

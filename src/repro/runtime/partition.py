@@ -110,6 +110,15 @@ class RebalancePartitioner(Partitioner):
         self._next += 1
         return (channel,)
 
+    def advance(self, count: int) -> int:
+        """Reserve ``count`` consecutive round-robin slots in one call
+        (batched routing) and return the cursor they start at, so a
+        batch lands on exactly the channels its records would have
+        reached one ``select`` at a time."""
+        cursor = self._next
+        self._next += count
+        return cursor
+
 
 class BroadcastPartitioner(Partitioner):
     """Every record to every downstream subtask."""

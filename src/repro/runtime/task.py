@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
-from repro.metrics import MetricGroup
+from repro.metrics import MetricGroup, OperatorStats
 from repro.runtime.channels import Channel
 from repro.runtime.elements import (
     END_OF_STREAM,
@@ -33,6 +33,7 @@ from repro.runtime.elements import (
     MIN_TIMESTAMP,
     CheckpointBarrier,
     Record,
+    RecordBatch,
     StreamElement,
     Watermark,
 )
@@ -43,7 +44,15 @@ from repro.runtime.operators import (
     SourceOperator,
     TimestampsAndWatermarksOperator,
 )
-from repro.runtime.partition import HashPartitioner, Partitioner
+from repro.runtime.partition import (
+    BroadcastPartitioner,
+    ForwardPartitioner,
+    GlobalPartitioner,
+    HashPartitioner,
+    Partitioner,
+    RebalancePartitioner,
+    hash_key,
+)
 from repro.state.backend import KeyedStateBackend
 from repro.state.checkpoint import TaskSnapshot
 from repro.time.clock import Clock
@@ -68,12 +77,70 @@ class OutputEdge:
         if isinstance(self.partitioner, HashPartitioner):
             key = self.partitioner.key_selector(record.value)
             stamped = Record(record.value, record.timestamp, key)
-            from repro.runtime.partition import hash_key
             self.channels[hash_key(key) % len(self.channels)].push(stamped)
             return
         for index in self.partitioner.select(record, len(self.channels),
                                              self.subtask_index):
             self.channels[index].push(record)
+
+    def emit_batch(self, records: List[Record]) -> None:
+        """Route a run of records in one call, preserving per-channel
+        FIFO order.
+
+        Pointwise and global routes forward one batch object; keyed and
+        round-robin routes group records into per-channel sub-batches in
+        a single pass -- the partitioning work that the scalar path pays
+        per record is paid once per batch here.  Unknown partitioners
+        fall back to per-record routing.
+        """
+        channels = self.channels
+        partitioner = self.partitioner
+        if isinstance(partitioner, HashPartitioner):
+            select_key = partitioner.key_selector
+            if len(channels) == 1:
+                channels[0].push(RecordBatch(
+                    [Record(r.value, r.timestamp, select_key(r.value))
+                     for r in records]))
+                return
+            total = len(channels)
+            buckets: Dict[int, List[Record]] = {}
+            for r in records:
+                key = select_key(r.value)
+                index = hash_key(key) % total
+                bucket = buckets.get(index)
+                if bucket is None:
+                    buckets[index] = bucket = []
+                bucket.append(Record(r.value, r.timestamp, key))
+            for index, bucket in buckets.items():
+                channels[index].push(RecordBatch(bucket))
+            return
+        if isinstance(partitioner, (ForwardPartitioner, GlobalPartitioner)):
+            index = (self.subtask_index % len(channels)
+                     if isinstance(partitioner, ForwardPartitioner) else 0)
+            # Copy: the caller's buffer is shared across edges, and chaos
+            # may carve records out of a pushed batch in place.
+            channels[index].push(RecordBatch(list(records)))
+            return
+        if isinstance(partitioner, BroadcastPartitioner):
+            for channel in channels:
+                channel.push(RecordBatch(list(records)))
+            return
+        if isinstance(partitioner, RebalancePartitioner):
+            total = len(channels)
+            cursor = partitioner.advance(len(records))
+            if total == 1:
+                channels[0].push(RecordBatch(list(records)))
+                return
+            round_robin: List[List[Record]] = [[] for _ in range(total)]
+            for r in records:
+                round_robin[cursor % total].append(r)
+                cursor += 1
+            for index, bucket in enumerate(round_robin):
+                if bucket:
+                    channels[index].push(RecordBatch(bucket))
+            return
+        for record in records:
+            self.emit_record(record)
 
     def broadcast(self, element: StreamElement) -> None:
         for channel in self.channels:
@@ -102,9 +169,13 @@ class Task:
     def __init__(self, vertex_name: str, vertex_id: int, subtask_index: int,
                  parallelism: int, operators: List[Operator],
                  clock: Clock, metrics: MetricGroup,
-                 elements_per_step: int = 32) -> None:
+                 elements_per_step: int = 32,
+                 batch_size: int = 1,
+                 operator_profiling: bool = False) -> None:
         if not operators:
             raise ValueError("a task needs at least one operator")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.vertex_name = vertex_name
         self.vertex_id = vertex_id
         self.subtask_index = subtask_index
@@ -112,9 +183,17 @@ class Task:
         self.clock = clock
         self.metrics = metrics
         self.elements_per_step = elements_per_step
+        self.batch_size = batch_size
+        self._batching = batch_size > 1
+        #: Records emitted by the chain tail since the last flush; they
+        #: leave as one RecordBatch at the next control element, buffer
+        #: fill, or end of step -- which is what guarantees a batch never
+        #: straddles a watermark/barrier/EOS boundary.
+        self._out_buffer: List[Record] = []
 
         self.inputs: List[Tuple[Channel, int]] = []   # (channel, input index)
         self.output_edges: List[OutputEdge] = []
+        self._output_channels: List[Channel] = []
 
         self._records_in = metrics.counter("records_in")
         self._records_out = metrics.counter("records_out")
@@ -154,7 +233,8 @@ class Task:
 
         # Build the chain back to front so each collector targets the next.
         self.chain: List[_ChainedOperator] = []
-        collector = self._route_to_outputs
+        collector = (self._buffer_output if self._batching
+                     else self._route_to_outputs)
         for position in reversed(range(len(operators))):
             operator = operators[position]
             backend = KeyedStateBackend()
@@ -171,6 +251,24 @@ class Task:
         self._source_ctx = (SourceContext(self.chain[0].ctx)
                             if self._is_source else None)
         self._opened = False
+
+        # Batched fast path: fuse the longest stateless prefix of the
+        # chain into one records-in/records-out function.  Profiling
+        # keeps the unfused path so per-operator counters stay exact.
+        self._fused_fn = None
+        self._fused_prefix = 0
+        if self._batching and not self._is_source and not operator_profiling:
+            from repro.plan.chaining import compile_batch_chain
+            self._fused_fn, self._fused_prefix = compile_batch_chain(
+                [chained.operator for chained in self.chain])
+        self._fused_all = (self._fused_fn is not None
+                           and self._fused_prefix == len(self.chain))
+
+        #: Per-operator throughput profile (filled when the engine runs
+        #: with ``operator_profiling``); parallel to ``self.chain``.
+        self.operator_stats: List[OperatorStats] = []
+        if operator_profiling:
+            self._instrument_chain()
 
     # -- identity ---------------------------------------------------------
 
@@ -212,6 +310,63 @@ class Task:
 
     def add_output_edge(self, edge: OutputEdge) -> None:
         self.output_edges.append(edge)
+        # Flattened once so the scheduler's runnable scan reads cached
+        # channel occupancies without re-walking the edge structure.
+        self._output_channels.extend(edge.channels)
+
+    def _instrument_chain(self) -> None:
+        """Wrap every chained operator's process entry points and its
+        collector with counting/timing shims (``operator_profiling``).
+
+        ``time_ns`` is *inclusive*: the chain dispatches synchronously,
+        so an upstream operator's time contains its downstream's.
+        """
+        from time import perf_counter_ns
+        for chained in self.chain:
+            stats = OperatorStats(chained.operator.name)
+            self.operator_stats.append(stats)
+            operator = chained.operator
+            inner_process = operator.process
+            # Default process_batch implementations loop into process();
+            # the guard keeps such batches from being counted twice.
+            in_batch = [False]
+
+            def timed_process(record, _inner=inner_process, _stats=stats,
+                              _in_batch=in_batch):
+                if _in_batch[0]:
+                    _inner(record)
+                    return
+                _stats.records_in += 1
+                started = perf_counter_ns()
+                try:
+                    _inner(record)
+                finally:
+                    _stats.time_ns += perf_counter_ns() - started
+
+            operator.process = timed_process
+            inner_batch = operator.process_batch
+
+            def timed_batch(records, _inner=inner_batch, _stats=stats,
+                            _in_batch=in_batch):
+                _stats.records_in += len(records)
+                _stats.batches += 1
+                _in_batch[0] = True
+                started = perf_counter_ns()
+                try:
+                    _inner(records)
+                finally:
+                    _stats.time_ns += perf_counter_ns() - started
+                    _in_batch[0] = False
+
+            operator.process_batch = timed_batch
+            inner_collector = chained.ctx._collector
+
+            def counting_collector(record, _inner=inner_collector,
+                                   _stats=stats):
+                _stats.records_out += 1
+                _inner(record)
+
+            chained.ctx._collector = counting_collector
 
     def open(self) -> None:
         if self._opened:
@@ -235,6 +390,27 @@ class Task:
         for edge in self.output_edges:
             edge.emit_record(record)
 
+    def _buffer_output(self, record: Record) -> None:
+        """Chain-tail collector in batched mode: coalesce emissions until
+        the buffer fills or a control element forces a flush."""
+        self._out_buffer.append(record)
+        if len(self._out_buffer) >= self.batch_size:
+            self._flush_out_buffer()
+
+    def _flush_out_buffer(self) -> None:
+        buffer = self._out_buffer
+        if not buffer:
+            return
+        self._out_buffer = []
+        self._records_out.inc(len(buffer))
+        if len(buffer) == 1:
+            record = buffer[0]
+            for edge in self.output_edges:
+                edge.emit_record(record)
+            return
+        for edge in self.output_edges:
+            edge.emit_batch(buffer)
+
     def _watermark_from_chain(self, position: int) -> Callable[[int], None]:
         """Watermarks generated *inside* the chain (timestamp assigners)
         advance the remaining chain suffix, then leave the task."""
@@ -247,7 +423,12 @@ class Task:
 
     @property
     def has_output_capacity(self) -> bool:
-        return all(edge.has_capacity for edge in self.output_edges)
+        # Hot path of the scheduler's runnable scan: a flat walk over
+        # cached integer occupancies, no edge indirection.
+        for channel in self._output_channels:
+            if channel.size >= channel.capacity:
+                return False
+        return True
 
     @property
     def is_runnable(self) -> bool:
@@ -270,8 +451,15 @@ class Task:
             return False
         try:
             if self._is_source:
-                return self._step_source()
-            return self._step_processing()
+                progressed = self._step_source()
+            else:
+                progressed = self._step_processing()
+            # Records must not languish in the output buffer across
+            # scheduler rounds: a task may not be stepped again for a
+            # while (backpressure), and latency would become unbounded.
+            if self._out_buffer:
+                self._flush_out_buffer()
+            return progressed
         except BaseException as exc:  # surfaces in Engine.execute
             self.failed = exc
             raise
@@ -290,12 +478,29 @@ class Task:
         return True
 
     def _step_processing(self) -> bool:
+        # The step budget is denominated in *records* in both modes: a
+        # batch of n records spends n budget, so ``elements_per_step``
+        # means the same amount of work whether or not batching is on.
+        # A batch larger than the remaining budget is split: the head is
+        # processed now and the tail goes back to the channel front, so
+        # the throttle is record-exact and backpressure builds at the
+        # same rate as in scalar execution.
         progressed = False
-        for _ in range(self.elements_per_step):
+        budget = self.elements_per_step
+        while budget > 0:
             element, channel_index = self._poll_fair()
             if element is None:
                 break
             progressed = True
+            if element.is_batch:
+                records = element.records
+                if len(records) > budget:
+                    channel, _ = self.inputs[channel_index]
+                    channel.requeue_front(RecordBatch(records[budget:]))
+                    element = RecordBatch(records[:budget])
+                budget -= len(element.records)
+            else:
+                budget -= 1
             self._dispatch_input(element, channel_index)
             if self.finished:
                 return True
@@ -325,6 +530,11 @@ class Task:
                 if self.quarantine_threshold is None:
                     raise
                 self._quarantine(element, exc)
+        elif element.is_batch:
+            records = element.records
+            if records:  # chaos drop may have emptied the batch in place
+                self._records_in.inc(len(records))
+                self._process_batch(records, channel_index)
         elif element.is_watermark:
             self._on_channel_watermark(element.timestamp, channel_index)
         elif element.is_barrier:
@@ -333,6 +543,10 @@ class Task:
             self._on_channel_end(channel_index)
 
     def _process_record(self, element: Record, channel_index: int) -> None:
+        _, input_index = self.inputs[channel_index]
+        self._process_record_on(element, input_index)
+
+    def _process_record_on(self, element: Record, input_index: int) -> None:
         if self.poison_next_records > 0:
             # Chaos-injected poison: consume the flag *before* raising so
             # a supervised restart replays the record cleanly.
@@ -340,7 +554,6 @@ class Task:
             from repro.runtime.faults import PoisonPill
             raise PoisonPill("chaos-injected poison in %s#%d"
                              % (self.vertex_name, self.subtask_index))
-        _, input_index = self.inputs[channel_index]
         head = self.chain[0]
         head.backend.set_current_key(element.key)
         head.ctx.current_timestamp = element.timestamp
@@ -348,6 +561,68 @@ class Task:
             head.operator.process(element)
         else:
             head.operator.process2(element)
+
+    def _process_batch(self, records: List[Record],
+                       channel_index: int) -> None:
+        """Run a whole record batch through the chain.
+
+        Fast paths, in order of preference:
+
+        * the fused stateless prefix compiled by
+          :func:`~repro.plan.chaining.compile_batch_chain` transforms the
+          batch in one call per operator, then either goes straight to
+          the output buffer (fully fused chain) or into the first
+          unfused operator's ``process_batch``;
+        * otherwise the head operator's ``process_batch`` (vectorised or
+          the per-record default) takes the batch.
+
+        Anything that needs per-record bookkeeping -- a second input,
+        pending chaos poison, or quarantine without a fully fused chain
+        -- falls back to per-record dispatch, which is semantically
+        identical by construction.  Quarantine *with* a fully fused
+        chain is safe on the fast path because the fused transforms are
+        pure: an exception means nothing was emitted, so replaying the
+        batch per-record duplicates no output.
+        """
+        _, input_index = self.inputs[channel_index]
+        if (input_index != 0 or self.poison_next_records > 0
+                or (self.quarantine_threshold is not None
+                    and not self._fused_all)):
+            self._process_records_individually(records, input_index)
+            return
+        fused = self._fused_fn
+        if fused is not None:
+            try:
+                out = fused(records)
+            except Exception:
+                if self.quarantine_threshold is None:
+                    raise
+                # Pure transforms emitted nothing before raising: replay
+                # the batch record-at-a-time so only the poison record
+                # is quarantined.
+                self._process_records_individually(records, input_index)
+                return
+            if self._fused_all:
+                if out:
+                    self._out_buffer.extend(out)
+                    if len(self._out_buffer) >= self.batch_size:
+                        self._flush_out_buffer()
+            elif out:
+                self.chain[self._fused_prefix].operator.process_batch(out)
+            return
+        self.chain[0].operator.process_batch(records)
+
+    def _process_records_individually(self, records: List[Record],
+                                      input_index: int) -> None:
+        """Per-record fallback with the exact scalar-mode quarantine and
+        poison semantics (``records_in`` was already counted)."""
+        for record in records:
+            try:
+                self._process_record_on(record, input_index)
+            except Exception as exc:
+                if self.quarantine_threshold is None:
+                    raise
+                self._quarantine(record, exc)
 
     def _quarantine(self, element: Record, exc: Exception) -> None:
         """Route a poison record to the dead-letter output; escalate once
@@ -534,6 +809,9 @@ class Task:
         # records are replayed clean).
         self._attempt_dead_letters = 0
         self.poison_next_records = 0
+        # Un-flushed emissions belong to the failed attempt; the replayed
+        # inputs will regenerate them.
+        self._out_buffer = []
 
     # -- end of input -------------------------------------------------------
 
@@ -577,5 +855,10 @@ class Task:
         self.finished = True
 
     def _broadcast(self, element: StreamElement) -> None:
+        # Flush buffered records *before* any control element leaves:
+        # this is the single point that enforces the batch-never-
+        # straddles-a-boundary invariant on the producer side.
+        if self._out_buffer:
+            self._flush_out_buffer()
         for edge in self.output_edges:
             edge.broadcast(element)

@@ -133,7 +133,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--emit-dir", default=None,
                         help="write shrunk repro snippets into this "
                              "directory (for CI artifacts)")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="run every oracle pipeline in batched "
+                             "execution mode with this record-batch size "
+                             "(sets REPRO_BATCH_SIZE; default: scalar)")
     args = parser.parse_args(argv)
+
+    if args.batch_size is not None:
+        if args.batch_size < 1:
+            parser.error("--batch-size must be >= 1")
+        # Oracles build their engines with the default EngineConfig,
+        # which resolves batch_size from this variable -- the same
+        # pipelines fuzz in both execution modes with no signature churn.
+        os.environ["REPRO_BATCH_SIZE"] = str(args.batch_size)
 
     names = [name.strip() for name in args.oracles.split(",") if name.strip()]
     oracles = build_oracles(names, mutate=args.mutate)
@@ -141,9 +153,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     def log(line: str) -> None:
         print(line, flush=True)
 
-    log("fuzz: seed=%d oracles=%s budget_cases=%s budget_seconds=%s%s"
+    log("fuzz: seed=%d oracles=%s budget_cases=%s budget_seconds=%s%s%s"
         % (args.seed, ",".join(names), args.budget_cases,
            args.budget_seconds,
+           " batch_size=%d" % args.batch_size if args.batch_size else "",
            " MUTATE=%s" % args.mutate if args.mutate else ""))
     report = run_fuzz(args.seed, oracles,
                       budget_cases=args.budget_cases,
