@@ -21,7 +21,7 @@ import time
 import pytest
 
 from harness import RoundLatencyProbe, format_table, record, record_json
-from repro.api import StreamExecutionEnvironment
+from repro.api import Environment
 from repro.api.stream import DataStream
 from repro.cutty import CuttyWindowOperator, PeriodicWindows
 from repro.runtime.engine import EngineConfig
@@ -39,7 +39,7 @@ BATCH_ENGINE_OPTS = dict(elements_per_step=2048, channel_capacity=16_384)
 
 
 def run_unshared():
-    env = StreamExecutionEnvironment()
+    env = Environment()
     stream = env.from_collection(EVENTS, timestamped=True)
     results = []
     for size, slide in QUERIES:
@@ -53,7 +53,7 @@ def run_unshared():
 
 
 def run_shared():
-    env = StreamExecutionEnvironment()
+    env = Environment()
     keyed = (env.from_collection(EVENTS, timestamped=True)
              .key_by(lambda v: 0))
     node = keyed._connect_keyed(
@@ -69,12 +69,13 @@ def run_shared():
     return len(results.get())
 
 
-def _run_transport_mode(batch_size):
-    """One stateless pipeline run; returns (payload dict, output)."""
+def _run_transport_mode(batch_size, observability=False):
+    """One stateless pipeline run; returns (payload dict, output, env)."""
     probe = RoundLatencyProbe()
     config = EngineConfig(batch_size=batch_size, cancel_hook=probe,
+                          observability=observability,
                           **BATCH_ENGINE_OPTS)
-    env = StreamExecutionEnvironment(config=config)
+    env = Environment(config=config)
     result = (env.from_collection(list(range(BATCH_RECORDS)))
               .rebalance()
               .map(lambda x: x + 1)
@@ -94,26 +95,26 @@ def _run_transport_mode(batch_size):
         "p50_round_latency_ms": round(probe.p50_ms(), 4),
         "p99_round_latency_ms": round(probe.p99_ms(), 4),
     }
-    return payload, result.get()
+    return payload, result.get(), env
 
 
-def run_batched_vs_scalar(rounds=3):
+def run_batched_vs_scalar(rounds=3, observability=False):
     """Both transport modes on the identical pipeline; the payload that
     becomes BENCH_e5.json.  Reused by benchmarks/perf_smoke.py.
 
     Each mode runs ``rounds`` times and reports its fastest round (the
     usual noise-floor treatment: scheduler hiccups only ever slow a run
     down), so the gated speedup ratio is stable across runs."""
-    scalar, scalar_out = _run_transport_mode(1)
-    batched, batched_out = _run_transport_mode(BATCH_SIZE)
+    scalar, scalar_out, _ = _run_transport_mode(1, observability)
+    batched, batched_out, _ = _run_transport_mode(BATCH_SIZE, observability)
     # Multiset equality: the global sink merges two rebalanced upstream
     # subtasks, and batching only changes that merge's granularity.
     assert sorted(batched_out) == sorted(scalar_out)
     for _ in range(rounds - 1):
-        candidate, _ = _run_transport_mode(1)
+        candidate, _, _ = _run_transport_mode(1, observability)
         if candidate["records_per_sec"] > scalar["records_per_sec"]:
             scalar = candidate
-        candidate, _ = _run_transport_mode(BATCH_SIZE)
+        candidate, _, _ = _run_transport_mode(BATCH_SIZE, observability)
         if candidate["records_per_sec"] > batched["records_per_sec"]:
             batched = candidate
     speedup = batched["records_per_sec"] / scalar["records_per_sec"]
@@ -122,6 +123,7 @@ def run_batched_vs_scalar(rounds=3):
         "pipeline": "source -> rebalance -> map -> filter -> map "
                     "-> global -> collect",
         "engine": dict(BATCH_ENGINE_OPTS),
+        "observability": bool(observability),
         "modes": {"scalar": scalar, "batched": batched},
         "speedup_batched_vs_scalar": round(speedup, 2),
     }

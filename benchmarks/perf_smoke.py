@@ -41,14 +41,48 @@ from harness import load_json, record_json  # noqa: E402
 TOLERANCE = 0.25
 
 
-def run_benches():
+def run_benches(observability=False):
     """Fresh payloads for both experiments (no files written)."""
     import bench_e2_multiquery
     import bench_e5_throughput
 
-    e5 = bench_e5_throughput.run_batched_vs_scalar()
+    e5 = bench_e5_throughput.run_batched_vs_scalar(
+        observability=observability)
     e2, _ = bench_e2_multiquery.build_payload()
     return e5, e2
+
+
+def metrics_dump(fmt: str) -> None:
+    """Run the batched e5 pipeline with observability enabled and print
+    the engine's job report in the requested exposition format."""
+    import bench_e5_throughput
+
+    _, _, env = bench_e5_throughput._run_transport_mode(
+        bench_e5_throughput.BATCH_SIZE, observability=True)
+    print(env.job_report().render(fmt))
+
+
+def measure_overhead(rounds: int = 3) -> float:
+    """The observability tax on the e5 transport bench: fastest-of-N
+    batched records/sec with the layer off vs. on; returns the relative
+    slowdown (0.07 == 7%)."""
+    import bench_e5_throughput
+
+    def best(observability):
+        rate = 0.0
+        for _ in range(rounds):
+            payload, _, _ = bench_e5_throughput._run_transport_mode(
+                bench_e5_throughput.BATCH_SIZE, observability=observability)
+            rate = max(rate, payload["records_per_sec"])
+        return rate
+
+    disabled = best(False)
+    enabled = best(True)
+    overhead = max(0.0, 1.0 - enabled / disabled)
+    print("observability overhead (e5 batched): disabled %.0f rec/s, "
+          "enabled %.0f rec/s -> %.1f%%"
+          % (disabled, enabled, overhead * 100))
+    return overhead
 
 
 def check_baseline(e5, e2) -> List[str]:
@@ -120,14 +154,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="cProfile the batched e5 pipeline and print "
                              "the top 25 functions by cumulative time")
+    parser.add_argument("--metrics-dump", nargs="?", const="text",
+                        choices=("text", "json", "prometheus"),
+                        metavar="FORMAT",
+                        help="run the batched e5 pipeline with "
+                             "observability enabled and print the "
+                             "engine job report (default format: text)")
+    parser.add_argument("--observability", action="store_true",
+                        help="run the gated benches with the "
+                             "observability layer enabled (exercises the "
+                             "instrumented hot path under the same "
+                             "baseline gate)")
+    parser.add_argument("--overhead", action="store_true",
+                        help="measure the observability overhead on the "
+                             "batched e5 bench (enabled vs disabled)")
     args = parser.parse_args(argv)
+
+    if args.metrics_dump:
+        metrics_dump(args.metrics_dump)
+        return 0
+
+    if args.overhead:
+        measure_overhead()
+        return 0
 
     if args.profile:
         profile_batched_run()
         if not args.check_baseline:
             return 0
 
-    e5, e2 = run_benches()
+    e5, e2 = run_benches(observability=args.observability)
     print("e5: scalar %.0f rec/s, batched %.0f rec/s, speedup %.2fx"
           % (e5["modes"]["scalar"]["records_per_sec"],
              e5["modes"]["batched"]["records_per_sec"],
@@ -142,6 +198,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("perf smoke: OK")
         return 0
 
+    if args.observability:
+        # Instrumented numbers are not the baseline; never record them.
+        print("perf smoke (observability on): not refreshing baselines")
+        return 0
     record_json("e5", e5)
     record_json("e2", e2)
     return 0

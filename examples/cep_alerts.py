@@ -12,7 +12,7 @@ Run:  python examples/cep_alerts.py
 
 from collections import Counter
 
-from repro.api import StreamExecutionEnvironment
+from repro.api import Environment
 from repro.cep import Pattern
 from repro.datagen import ClickstreamGenerator
 
@@ -29,7 +29,7 @@ def main():
                   .followed_by("s3", lambda e: e.action == "support")
                   .within(6 * HOUR_MS))
 
-    env = StreamExecutionEnvironment()
+    env = Environment()
     alerts = (env.from_collection([(e, e.timestamp) for e in events],
                                   timestamped=True)
               .key_by(lambda e: e.user)

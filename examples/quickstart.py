@@ -9,7 +9,7 @@ One environment, one engine, three programs:
 Run:  python examples/quickstart.py
 """
 
-from repro.api import StreamExecutionEnvironment
+from repro.api import Environment
 from repro.cutty import CuttyWindowOperator, PeriodicWindows, SessionWindows
 from repro.windowing import CountAggregate, TumblingEventTimeWindows
 
@@ -27,8 +27,8 @@ WORD_EVENTS = [(word, index * 100)
 
 def batch_word_count() -> None:
     print("== data at rest: batch word count ==")
-    env = StreamExecutionEnvironment(parallelism=2)
-    counts = (env.from_bounded(LINES)
+    env = Environment(parallelism=2)
+    counts = (env.read(LINES)
               .flat_map(str.split)
               .group_by(lambda word: word)
               .count()
@@ -40,7 +40,7 @@ def batch_word_count() -> None:
 
 def streaming_word_count() -> None:
     print("== data in motion: per-second tumbling window counts ==")
-    env = StreamExecutionEnvironment(parallelism=2)
+    env = Environment(parallelism=2)
     counts = (env.from_collection(WORD_EVENTS, timestamped=True)
               .key_by(lambda word: word)
               .window(TumblingEventTimeWindows.of(1000))
@@ -56,7 +56,7 @@ def streaming_word_count() -> None:
 
 def cutty_shared_word_count() -> None:
     print("== Cutty: tumbling + session queries from ONE shared operator ==")
-    env = StreamExecutionEnvironment()
+    env = Environment()
     keyed = (env.from_collection(WORD_EVENTS, timestamped=True)
              .key_by(lambda word: word))
     node = keyed._connect_keyed(

@@ -12,7 +12,7 @@ Run:  python examples/table_analytics.py
 
 import random
 
-from repro.api import StreamExecutionEnvironment
+from repro.api import Environment
 from repro.table import Table, Tumble
 
 
@@ -30,7 +30,7 @@ def generate_orders(n=2000, seed=7):
 
 def batch_report(orders):
     print("== data at rest: revenue per country (batch) ==")
-    env = StreamExecutionEnvironment(parallelism=2)
+    env = Environment(parallelism=2)
     report = (Table.from_rows(env, orders)
               .where(lambda r: r["amount"] >= 10, reads=("amount",),
                      description="amount>=10")
@@ -49,7 +49,7 @@ def batch_report(orders):
 
 def streaming_report(orders):
     print("\n== data in motion: revenue per country per minute (stream) ==")
-    env = StreamExecutionEnvironment()
+    env = Environment()
     table = (Table.from_rows(env, orders, bounded=False, time_column="ts")
              .where(lambda r: r["amount"] >= 10, reads=("amount",),
                     description="amount>=10")

@@ -2,7 +2,11 @@
 vocabulary, for data at rest and data in motion."""
 
 from repro.api.dataset import DataSet, GroupedDataSet
-from repro.api.environment import CollectResult, StreamExecutionEnvironment
+from repro.api.environment import (
+    CollectResult,
+    Environment,
+    StreamExecutionEnvironment,
+)
 from repro.api.stream import (
     ConnectedKeyedStreams,
     ConnectedStreams,
@@ -15,6 +19,7 @@ __all__ = [
     "DataSet",
     "GroupedDataSet",
     "CollectResult",
+    "Environment",
     "StreamExecutionEnvironment",
     "ConnectedKeyedStreams",
     "ConnectedStreams",

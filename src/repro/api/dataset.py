@@ -88,6 +88,11 @@ class DataSet:
     def group_by(self, key_selector: Callable[[Any], Any]) -> "GroupedDataSet":
         return GroupedDataSet(self, key_selector)
 
+    def key_by(self, key_selector: Callable[[Any], Any]) -> "GroupedDataSet":
+        """Streaming-vocabulary alias of :meth:`group_by`: the same
+        pipeline body works on a DataSet and a DataStream."""
+        return self.group_by(key_selector)
+
     def distinct(self, key_fn: Optional[Callable[[Any], Any]] = None,
                  name: str = "distinct") -> "DataSet":
         """Distinct values (by ``key_fn`` if given); exact, via a global
@@ -137,17 +142,22 @@ class DataSet:
                                 HashPartitioner(right_key), target_input=1)
         return DataSet(self.env, target)
 
-    def union(self, other: "DataSet", name: str = "union") -> "DataSet":
-        """Bag union via a pass-through stage reading both inputs."""
-        p = max(self.node.parallelism, other.node.parallelism)
+    def union(self, *others: "DataSet", name: str = "union") -> "DataSet":
+        """Bag union via a pass-through stage reading every input
+        (varargs, mirroring :meth:`DataStream.union`)."""
+        if not others:
+            return self
+        p = max([self.node.parallelism]
+                + [other.node.parallelism for other in others])
         target = self.env.graph.new_node(
             name, lambda: MapOperator(lambda v: v, name), p)
         self.env.graph.add_edge(self.node.node_id, target.node_id,
                                 self._edge_partitioner(p)
                                 if self.node.parallelism == p
                                 else RebalancePartitioner())
-        self.env.graph.add_edge(other.node.node_id, target.node_id,
-                                RebalancePartitioner())
+        for other in others:
+            self.env.graph.add_edge(other.node.node_id, target.node_id,
+                                    RebalancePartitioner())
         return DataSet(self.env, target)
 
     # -- sinks --------------------------------------------------------------------
@@ -202,6 +212,19 @@ class GroupedDataSet:
         return self.reduce_group(
             lambda key, values: _pairwise_reduce(values, reduce_fn),
             name=name)
+
+    def fold(self, initial: Any, fold_fn: Callable[[Any, Any], Any],
+             name: str = "grouped-fold") -> DataSet:
+        """Per-key fold from ``initial``; emits one ``(key, accumulator)``
+        pair per group (parity with :meth:`KeyedStream.fold`, which emits
+        the *running* value -- on bounded data the final emission is the
+        same)."""
+        def fold_group(key: Any, values: List[Any]) -> Any:
+            accumulator = initial
+            for value in values:
+                accumulator = fold_fn(accumulator, value)
+            return (key, accumulator)
+        return self.reduce_group(fold_group, name=name)
 
     def count(self, name: str = "group-count") -> DataSet:
         """``(key, count)`` per group."""

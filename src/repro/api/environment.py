@@ -1,20 +1,24 @@
 """The execution environment: entry point of the uniform programming model.
 
-One :class:`StreamExecutionEnvironment` hosts *both* kinds of programs:
+One :class:`Environment` hosts *both* kinds of programs:
 
 * :meth:`from_collection` / :meth:`from_source` / :meth:`generate_sequence`
   produce a :class:`~repro.api.stream.DataStream` (data in motion);
-* :meth:`from_bounded` produces a :class:`~repro.api.dataset.DataSet`
-  (data at rest).
+* :meth:`read` (alias :meth:`from_bounded`) produces a
+  :class:`~repro.api.dataset.DataSet` (data at rest).
 
 Both build nodes in the *same* :class:`~repro.plan.graph.StreamGraph` and
 execute on the *same* pipelined engine -- the STREAMLINE claim that one
 system serves both workloads, with batch being the special case of a
-stream that ends.
+stream that ends.  There is one :meth:`execute`, one place to hand in an
+:class:`~repro.runtime.engine.EngineConfig`, and one switch for the
+observability layer; :class:`StreamExecutionEnvironment` remains as a
+deprecated alias.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Iterable, List, Optional
 
 from repro.plan.chaining import build_job_graph
@@ -44,15 +48,31 @@ class CollectResult:
         return len(self._bucket)
 
 
-class StreamExecutionEnvironment:
-    """Builds and runs dataflow programs."""
+class Environment:
+    """Builds and runs dataflow programs, batch and streaming alike.
+
+    ``observability`` is a convenience pass-through to
+    ``EngineConfig(observability=...)`` -- handy when the default config
+    is otherwise fine.  It must not disagree with an explicit ``config``
+    that also sets observability.
+    """
 
     def __init__(self, parallelism: int = 1,
                  config: Optional[EngineConfig] = None,
-                 chaining: bool = True) -> None:
+                 chaining: bool = True, *,
+                 observability: Any = None) -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
         self.parallelism = parallelism
+        if observability is not None:
+            if config is not None and config.observability is not None:
+                raise ValueError(
+                    "observability was set on both the Environment and "
+                    "its EngineConfig; pick one place")
+            from repro.observability import ObservabilityConfig
+            config = config or EngineConfig()
+            config.observability = ObservabilityConfig.normalize(
+                observability)
         self.config = config or EngineConfig()
         self.chaining = chaining
         self.graph = StreamGraph()
@@ -134,6 +154,12 @@ class StreamExecutionEnvironment:
             parallelism=self.parallelism, is_source=True)
         return DataSet(self, node)
 
+    def read(self, values: Iterable[Any],
+             name: str = "bounded-source") -> "DataSet":
+        """The batch entry point: read data at rest into a DataSet
+        (alias of :meth:`from_bounded`)."""
+        return self.from_bounded(values, name=name)
+
     # -- plumbing used by the fluent API ------------------------------------
 
     def _new_collect_result(self) -> CollectResult:
@@ -163,7 +189,7 @@ class StreamExecutionEnvironment:
         if self._last_engine is not None:
             raise RuntimeError(
                 "this environment already executed; create a new "
-                "StreamExecutionEnvironment per job")
+                "Environment per job")
         job_graph = self.build_job_graph()
         engine = Engine(job_graph, self.config)
         self._last_engine = engine
@@ -186,8 +212,32 @@ class StreamExecutionEnvironment:
             return []
         return list(self._last_engine.dead_letters)
 
+    def job_report(self):
+        """The last execution's :class:`~repro.observability.JobReport`
+        (see :meth:`~repro.runtime.engine.Engine.job_report`)."""
+        if self._last_engine is None:
+            raise RuntimeError(
+                "job_report() is only available after env.execute()")
+        return self._last_engine.job_report()
+
     def explain(self) -> str:
         """The logical and physical plan, side by side."""
         logical = explain_stream_graph(self.graph)
         physical = explain_job_graph(self.build_job_graph())
         return logical + "\n" + physical
+
+
+class StreamExecutionEnvironment(Environment):
+    """Deprecated pre-facade name of :class:`Environment`.
+
+    Kept as a working shim: constructing one emits a
+    :class:`DeprecationWarning` and behaves exactly like
+    :class:`Environment`.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        warnings.warn(
+            "StreamExecutionEnvironment is deprecated; use "
+            "repro.api.Environment (same constructor and methods)",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(*args, **kwargs)

@@ -110,6 +110,11 @@ class DataStream:
         return KeyedStream(self.env, self.node, key_selector,
                            extra_upstream=self._extra_upstream)
 
+    def group_by(self, key_selector: Callable[[Any], Any]) -> "KeyedStream":
+        """Batch-vocabulary alias of :meth:`key_by`: the same pipeline
+        body works on a DataSet and a DataStream."""
+        return self.key_by(key_selector)
+
     def rebalance(self) -> "DataStream":
         return DataStream(self.env, self.node, RebalancePartitioner(),
                           self._extra_upstream)

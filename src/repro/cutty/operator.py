@@ -106,6 +106,34 @@ class CuttyWindowOperator(Operator):
                                        result.end, result.value),
                      timestamp=ts)
 
+    def sharing_stats(self) -> Dict[str, Any]:
+        """Sharing/attribution stats for the observability layer, merged
+        across this subtask's keys: per-query results and combine
+        invocations, live slices, elements processed, and the aggregate
+        cost table.  Pull-based -- nothing here touches the record path.
+        """
+        queries: Dict[Any, Dict[str, int]] = {
+            query_id: {"results": 0, "combines": 0}
+            for query_id in self._spec_factories}
+        elements = 0
+        live_slices = 0
+        for aggregator in self._per_key.values():
+            elements += aggregator.elements_processed
+            live_slices += aggregator.live_slices
+            for query_id, per_query in aggregator.query_stats.items():
+                bucket = queries[query_id]
+                bucket["results"] += per_query["results"]
+                bucket["combines"] += per_query["combines"]
+        return {
+            "keys": len(self._per_key),
+            "elements": elements,
+            "live_slices": live_slices,
+            "queries": queries,
+            "aggregate_ops": {
+                name: value for name, value in self.counter.snapshot().items()
+                if name not in ("ops_per_record",)},
+        }
+
     def finish(self) -> None:
         for key in sorted(self._per_key, key=repr):
             aggregator = self._per_key[key]

@@ -72,6 +72,13 @@ class SharedCuttyAggregator:
         self._open_count = 0
         self._seq = 0  # next element sequence number
         self.max_timestamp_seen: Optional[int] = None
+        #: Per-query resource attribution (Shared Arrangements-style):
+        #: results emitted and combine invocations spent answering each
+        #: query, so a shared operator's cost can be traced back to the
+        #: query that incurred it.  Maintained per window *end* -- never
+        #: on the per-record path.
+        self.query_stats: Dict[Any, Dict[str, int]] = {
+            query_id: {"results": 0, "combines": 0} for query_id in queries}
 
     # -- introspection -----------------------------------------------------
 
@@ -185,14 +192,18 @@ class SharedCuttyAggregator:
             # A window whose begin predates this aggregator (e.g. resumed
             # state); serve it from everything retained.
             start_abs = self._tree.front_index
+        combines_before = self.counter.combines.value
         partial = self._tree.query(start_abs, self._tree.back_index)
         if self._open_count > 0:
             partial = (self._open_partial if partial is None
                        else self._aggregate.merge(partial, self._open_partial))
+        per_query = self.query_stats[query_id]
+        per_query["combines"] += self.counter.combines.value - combines_before
         if partial is None:
             return  # empty window: nothing to emit (matches the operator)
         value = self._aggregate.get_result(partial)
         self.counter.results.inc()
+        per_query["results"] += 1
         results.append(CuttyResult(query_id, window[0], window[1], value))
 
     # -- eviction --------------------------------------------------------------------
@@ -218,6 +229,7 @@ class SharedCuttyAggregator:
             "open_count": self._open_count,
             "pending": {qid: list(state.pending.items())
                         for qid, state in self._queries.items()},
+            "query_stats": self.query_stats,
             "specs": {qid: state.spec.__dict__
                       for qid, state in self._queries.items()},
             "slices": [(index, self._tree.get(index))
@@ -237,6 +249,10 @@ class SharedCuttyAggregator:
         for query_id, state in self._queries.items():
             state.pending = OrderedDict(snapshot["pending"][query_id])
             state.spec.__dict__.update(snapshot["specs"][query_id])
+        self.query_stats = snapshot.get(
+            "query_stats",
+            {query_id: {"results": 0, "combines": 0}
+             for query_id in self._queries})
         self._tree = FlatFAT(self._aggregate)
         # Rebuild the tree preserving absolute indices.
         for _ in range(snapshot["front"]):

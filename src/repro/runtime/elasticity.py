@@ -22,10 +22,10 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, NamedTuple, Optional
 
-from repro.api.environment import StreamExecutionEnvironment
+from repro.api.environment import Environment
 from repro.runtime.engine import EngineConfig
 
-ProgramBuilder = Callable[[StreamExecutionEnvironment], Any]
+ProgramBuilder = Callable[[Environment], Any]
 
 
 class ScalingDecision(NamedTuple):
@@ -115,7 +115,7 @@ class ElasticityController:
                     return True
                 return False
 
-            env = StreamExecutionEnvironment(
+            env = Environment(
                 parallelism=parallelism,
                 config=EngineConfig(
                     checkpoint_interval_ms=self.checkpoint_interval_ms,

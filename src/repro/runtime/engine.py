@@ -32,8 +32,12 @@ from repro.metrics import (
     merge_counter_maps,
     merge_gauge_maps,
 )
+from repro.observability.runtime import (
+    ObservabilityConfig,
+    RuntimeObservability,
+)
 from repro.runtime.channels import Channel
-from repro.runtime.elements import MAX_TIMESTAMP
+from repro.runtime.elements import MAX_TIMESTAMP, MIN_TIMESTAMP
 from repro.runtime.partition import ForwardPartitioner
 from repro.runtime.task import OutputEdge, Task
 from repro.state.checkpoint import (
@@ -44,6 +48,7 @@ from repro.state.checkpoint import (
 from repro.time.clock import ManualClock
 
 if TYPE_CHECKING:  # imported lazily to avoid a plan <-> runtime cycle
+    from repro.observability.reporter import JobReport
     from repro.plan.graph import JobGraph
     from repro.runtime.faults import ChaosInjector, DeadLetter
     from repro.runtime.restart import RestartStrategy
@@ -69,9 +74,16 @@ class EngineConfig:
     the differential test harness runs unmodified pipelines in both
     modes.  Results are element-for-element identical either way --
     batching is purely a mechanical-sympathy knob.
+
+    ``observability`` turns the runtime observability layer on: ``True``
+    (or an :class:`~repro.observability.ObservabilityConfig`) gives the
+    engine a metrics registry, span tracing and lag/backpressure gauges,
+    read back through :meth:`Engine.job_report`.  The default ``None``
+    defers to the ``REPRO_OBSERVABILITY`` environment variable; ``False``
+    forces it off.  Every option is keyword-only.
     """
 
-    def __init__(self,
+    def __init__(self, *,
                  channel_capacity: int = 128,
                  elements_per_step: int = 32,
                  batch_size: Optional[int] = None,
@@ -86,8 +98,11 @@ class EngineConfig:
                  checkpoint_timeout_ms: Optional[int] = None,
                  tolerable_consecutive_checkpoint_failures: Optional[int] = None,
                  quarantine_threshold: Optional[int] = None,
-                 chaos: Optional["ChaosInjector"] = None
-                 ) -> None:
+                 chaos: Optional["ChaosInjector"] = None,
+                 observability: Any = None,
+                 **unknown: Any) -> None:
+        if unknown:
+            raise TypeError(_unknown_options_message(unknown))
         if channel_capacity < 1:
             raise ValueError("channel_capacity must be >= 1")
         if elements_per_step < 1:
@@ -141,6 +156,25 @@ class EngineConfig:
         self.quarantine_threshold = quarantine_threshold
         #: Deterministic fault injection (see :mod:`repro.runtime.faults`).
         self.chaos = chaos
+        #: Normalized observability settings: ``None`` (disabled) or an
+        #: :class:`~repro.observability.ObservabilityConfig`.
+        self.observability = ObservabilityConfig.normalize(observability)
+
+
+def _unknown_options_message(unknown: Dict[str, Any]) -> str:
+    """A helpful error for a mistyped EngineConfig keyword."""
+    import difflib
+    import inspect
+    known = [name for name in
+             inspect.signature(EngineConfig.__init__).parameters
+             if name not in ("self", "unknown")]
+    parts = []
+    for name in sorted(unknown):
+        close = difflib.get_close_matches(name, known, n=1)
+        hint = " (did you mean %r?)" % close[0] if close else ""
+        parts.append("%r%s" % (name, hint))
+    return ("EngineConfig got unknown option(s): %s; known options: %s"
+            % (", ".join(parts), ", ".join(known)))
 
 
 #: Public alias: the fluent API docs talk about "execution config".
@@ -241,12 +275,21 @@ class Engine:
         self._restarts_metric = self.metrics.counter("restarts")
         self._failures_metric = self.metrics.counter("failures")
         self._aborted_metric = self.metrics.counter("checkpoints_aborted")
+        #: The live observability layer, or ``None``; the scheduler pays
+        #: one ``is not None`` test per round when disabled, and the
+        #: per-record path is untouched either way.
+        self.observability: Optional[RuntimeObservability] = (
+            RuntimeObservability(self.config.observability, self)
+            if self.config.observability is not None else None)
+        self._last_result: Optional[JobResult] = None
         self._build()
 
     # -- construction -----------------------------------------------------
 
     def _build(self) -> None:
         cfg = self.config
+        tracer = (self.observability.tracer
+                  if self.observability is not None else None)
         for vertex_id, vertex in sorted(self.job_graph.vertices.items()):
             subtasks = []
             for index in range(vertex.parallelism):
@@ -256,7 +299,8 @@ class Engine:
                             operators, self.clock, metrics,
                             elements_per_step=cfg.elements_per_step,
                             batch_size=cfg.batch_size,
-                            operator_profiling=cfg.operator_profiling)
+                            operator_profiling=cfg.operator_profiling,
+                            tracer=tracer)
                 task.checkpoint_ack = self._acknowledge_checkpoint
                 task.quarantine_threshold = cfg.quarantine_threshold
                 task.dead_letter_collector = self._collect_dead_letter
@@ -312,6 +356,9 @@ class Engine:
             if task.is_source and not task.finished:
                 task.pending_checkpoint = checkpoint_id
         self._next_checkpoint_time = self.clock.now() + interval
+        if self.observability is not None:
+            self.observability.on_checkpoint_triggered(checkpoint_id,
+                                                       len(expected))
 
     def _acknowledge_checkpoint(self, checkpoint_id: int,
                                 snapshot: TaskSnapshot) -> None:
@@ -329,6 +376,8 @@ class Engine:
             # Deferred until after the current task step so notifications
             # observe a consistent post-checkpoint world.
             self._completion_notifications.append(checkpoint_id)
+            if self.observability is not None:
+                self.observability.on_checkpoint_completed(completed)
 
     def _maybe_abort_pending_checkpoint(self) -> None:
         """Coordinator self-defence: give up on a checkpoint that can no
@@ -359,6 +408,9 @@ class Engine:
         assert pending is not None
         pending.abort(reason)
         self._pending_checkpoint = None
+        if self.observability is not None:
+            self.observability.on_checkpoint_aborted(pending.checkpoint_id,
+                                                     reason)
         for task in self.tasks:
             task.abort_checkpoint(pending.checkpoint_id)
         self._checkpoints_aborted += 1
@@ -409,6 +461,8 @@ class Engine:
             self.clock.advance(delay_ms)  # restart delay burns simulated time
         self.restarts += 1
         self._restarts_metric.inc()
+        if self.observability is not None:
+            self.observability.on_restart(self.restarts, delay_ms, exc)
         if self.checkpoint_store.latest is not None:
             self.recover()
         else:
@@ -444,6 +498,8 @@ class Engine:
             if snapshot is not None:
                 task.restore(snapshot)
         self.recoveries += 1
+        if self.observability is not None:
+            self.observability.on_recovery(latest.checkpoint_id)
 
     def operator_stats(self) -> List[OperatorStats]:
         """Job-level per-operator throughput profile, merged across
@@ -582,6 +638,7 @@ class Engine:
 
     def execute(self) -> JobResult:
         cfg = self.config
+        obs = self.observability
         rounds = 0
         stall_rounds = 0
         cancelled = False
@@ -624,6 +681,8 @@ class Engine:
             self._maybe_abort_pending_checkpoint()
             self._maybe_trigger_checkpoint()
             rounds += 1
+            if obs is not None:
+                obs.on_round(rounds)
 
             if progressed:
                 stall_rounds = 0
@@ -648,17 +707,126 @@ class Engine:
                     % (stall_rounds,
                        [t for t in self.tasks if not t.finished]))
 
+        if obs is not None:
+            obs.sample()  # final frontier/occupancy snapshot
         counters = merge_counter_maps(
             [task.metrics.counters() for task in self.tasks]
             + [self.metrics.counters()])
         gauges = merge_gauge_maps(
             task.metrics.gauges() for task in self.tasks)
-        return JobResult(rounds, self.clock.now(), counters,
-                         checkpoints_completed=self._checkpoints_completed,
-                         checkpoint_durations_ms=list(self._checkpoint_durations),
-                         recoveries=self.recoveries,
-                         cancelled=cancelled,
-                         restarts=self.restarts,
-                         checkpoints_aborted=self._checkpoints_aborted,
-                         dead_letters=list(self.dead_letters),
-                         gauges=gauges)
+        result = JobResult(rounds, self.clock.now(), counters,
+                           checkpoints_completed=self._checkpoints_completed,
+                           checkpoint_durations_ms=list(
+                               self._checkpoint_durations),
+                           recoveries=self.recoveries,
+                           cancelled=cancelled,
+                           restarts=self.restarts,
+                           checkpoints_aborted=self._checkpoints_aborted,
+                           dead_letters=list(self.dead_letters),
+                           gauges=gauges)
+        self._last_result = result
+        return result
+
+    # -- reporting -----------------------------------------------------------
+
+    def job_report(self) -> "JobReport":
+        """Structured post-run summary (see
+        :mod:`repro.observability`): per-operator throughput, watermark
+        lag, backpressure-stall time, checkpoint statistics, Cutty
+        sharing counters and the span digest, renderable as text, JSON
+        or Prometheus exposition.
+
+        Always available after :meth:`execute`: the always-on counters
+        (records in/out, checkpoints, Cutty cost tables) report with
+        observability disabled; the runtime sections (stall time, lag
+        and skew gauges, channel occupancy, spans) need
+        ``EngineConfig(observability=True)``.
+        """
+        from repro.observability import JobReport, collect_cutty_stats
+        result = self._last_result
+        if result is None:
+            raise JobFailedError(
+                "job_report() requires a completed execute()")
+        obs = self.observability
+        now = self.clock.now()
+        sim_seconds = result.simulated_time_ms / 1000.0
+
+        operators = []
+        for task in self.tasks:
+            counters = task.metrics.counters()
+            records_out = counters.get("records_out", 0)
+            row: Dict[str, Any] = {
+                "operator": task.vertex_name,
+                "subtask": task.subtask_index,
+                "records_in": counters.get("records_in", 0),
+                "records_out": records_out,
+                "dead_letters": counters.get("dead_letters", 0),
+            }
+            if sim_seconds > 0:
+                row["throughput_rps"] = records_out / sim_seconds
+            watermark = task.current_watermark
+            if MIN_TIMESTAMP < watermark < MAX_TIMESTAMP:
+                row["watermark_lag_ms"] = max(0, now - watermark)
+            if obs is not None:
+                key = "%s.%d" % (task.vertex_name, task.subtask_index)
+                row["backpressure_stall_ms"] = obs.stall_ms.get(key, 0)
+            operators.append(row)
+
+        checkpoints: Dict[str, Any] = {
+            "completed": result.checkpoints_completed,
+            "aborted": result.checkpoints_aborted,
+        }
+        durations = result.checkpoint_durations_ms
+        if durations:
+            checkpoints["duration_ms_min"] = min(durations)
+            checkpoints["duration_ms_max"] = max(durations)
+            checkpoints["duration_ms_mean"] = (
+                sum(durations) / len(durations))
+        if obs is not None:
+            checkpoints["last_state_entries"] = obs.registry.gauge(
+                "checkpoint_state_entries").value
+
+        sections: Dict[str, Any] = {
+            "job": {
+                "rounds": result.rounds,
+                "simulated_time_ms": result.simulated_time_ms,
+                "records_emitted": result.records_emitted,
+                "recoveries": result.recoveries,
+                "restarts": result.restarts,
+                "dead_letters": len(result.dead_letters),
+                "cancelled": result.cancelled,
+                "observability": obs is not None,
+            },
+            "operators": operators,
+            "checkpoints": checkpoints,
+            "cutty": collect_cutty_stats(self),
+        }
+
+        if obs is not None:
+            skew = obs.registry.gauge("watermark_skew_ms")
+            lag = obs.registry.gauge("watermark_lag_ms")
+            sections["watermarks"] = {
+                "skew_ms": skew.value,
+                "skew_ms_max": skew.max_value,
+                "lag_ms": lag.value,
+                "lag_ms_max": lag.max_value,
+            }
+            channels = []
+            for task in self.tasks:
+                for channel, _ in task.inputs:
+                    channels.append({
+                        "channel": channel.name,
+                        "pushed": channel.pushed,
+                        "polled": channel.polled,
+                        "occupancy_hwm": obs.registry.gauge(
+                            "channel_occupancy.%s"
+                            % channel.name).max_value,
+                    })
+            sections["channels"] = channels
+            if obs.tracer is not None:
+                sections["spans"] = {
+                    "started": obs.tracer.started,
+                    "dropped": obs.tracer.dropped,
+                    "by_name": obs.tracer.spans_by_name(),
+                }
+        return JobReport(sections)

@@ -45,6 +45,9 @@ class OperatorContext:
         self.clock = clock
         self._collector = collector
         self.current_timestamp: Optional[int] = None
+        #: Span collector when the engine runs with observability on;
+        #: ``None`` otherwise, so operators guard with ``is not None``.
+        self.tracer: Optional[Any] = None
 
     # -- output ---------------------------------------------------------
     def emit(self, value: Any, timestamp: Optional[int] = None) -> None:

@@ -171,7 +171,8 @@ class Task:
                  clock: Clock, metrics: MetricGroup,
                  elements_per_step: int = 32,
                  batch_size: int = 1,
-                 operator_profiling: bool = False) -> None:
+                 operator_profiling: bool = False,
+                 tracer: Optional[Any] = None) -> None:
         if not operators:
             raise ValueError("a task needs at least one operator")
         if batch_size < 1:
@@ -185,6 +186,9 @@ class Task:
         self.elements_per_step = elements_per_step
         self.batch_size = batch_size
         self._batching = batch_size > 1
+        #: Span collector of the observability layer; ``None`` (the
+        #: default) keeps every tracing branch a dead ``is not None``.
+        self._tracer = tracer
         #: Records emitted by the chain tail since the last flush; they
         #: leave as one RecordBatch at the next control element, buffer
         #: fill, or end of step -- which is what guarantees a batch never
@@ -241,6 +245,7 @@ class Task:
             timers = TimerService()
             ctx = OperatorContext(subtask_index, parallelism, backend, timers,
                                   metrics, clock, collector)
+            ctx.tracer = tracer
             chained = _ChainedOperator(operator, backend, timers, ctx)
             self.chain.insert(0, chained)
             if isinstance(operator, TimestampsAndWatermarksOperator):
@@ -279,6 +284,12 @@ class Task:
     @property
     def is_source(self) -> bool:
         return self._is_source
+
+    @property
+    def current_watermark(self) -> int:
+        """The minimum watermark across this subtask's live inputs --
+        what the observability sampler reads for lag/skew gauges."""
+        return self._combined_watermark
 
     def __repr__(self) -> str:
         # Diagnostic: stall/failure reports print lists of tasks, so the
@@ -592,8 +603,15 @@ class Task:
             return
         fused = self._fused_fn
         if fused is not None:
+            tracer = self._tracer
             try:
-                out = fused(records)
+                if tracer is None:
+                    out = fused(records)
+                else:
+                    with tracer.span("fused_batch", task=self.vertex_name,
+                                     subtask=self.subtask_index,
+                                     records=len(records)):
+                        out = fused(records)
             except Exception:
                 if self.quarantine_threshold is None:
                     raise

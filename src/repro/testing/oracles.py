@@ -41,7 +41,7 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.api.environment import StreamExecutionEnvironment
+from repro.api.environment import Environment
 from repro.cutty.baselines import applicable_strategies, build_strategy
 from repro.runtime.engine import EngineConfig
 from repro.testing import reference
@@ -249,7 +249,7 @@ class BatchStreamOracle(Oracle):
         expected = reference.grouped_pipeline(data, map_fn, filter_fn,
                                               aggregate_name)
 
-        batch_env = StreamExecutionEnvironment(parallelism=parallelism)
+        batch_env = Environment(parallelism=parallelism)
         batch_result = (
             batch_env.from_bounded(data)
             .map(lambda kv: (kv[0], map_fn(kv[1])))
@@ -264,7 +264,7 @@ class BatchStreamOracle(Oracle):
         if mismatch is not None:
             return "%s\n  pipeline=%r" % (mismatch, pipeline)
 
-        stream_env = StreamExecutionEnvironment(parallelism=parallelism)
+        stream_env = Environment(parallelism=parallelism)
         keyed = (stream_env.from_collection(data)
                  .map(lambda kv: (kv[0], map_fn(kv[1])))
                  .filter(lambda kv: filter_fn(kv[1]))
@@ -325,7 +325,7 @@ def run_streaming_windows(elements: List[tuple],
                           config: Optional[EngineConfig] = None,
                           ) -> Tuple[Dict[Tuple[Any, int, int], Any], Any]:
     """One streaming window job; returns (results dict, JobResult)."""
-    env = StreamExecutionEnvironment(parallelism=parallelism,
+    env = Environment(parallelism=parallelism,
                                      config=config or EngineConfig())
     collected = (_watermarked(env, elements, ooo_bound + 2)
                  .window(make_assigner(assigner_params))
@@ -357,7 +357,7 @@ class WindowedEquivalenceOracle(Oracle):
     def _batch_windows(self, case: Case) -> Dict[Tuple[Any, int, int], Any]:
         assigner_params = case.params["assigner"]
         aggregate_name = case.params["aggregate"]
-        env = StreamExecutionEnvironment(
+        env = Environment(
             parallelism=case.params["parallelism"])
         dataset = env.from_bounded(list(case.stream))
         if assigner_params["kind"] == "session":

@@ -265,6 +265,15 @@ class WindowOperator(Operator):
         state = self._contents.get(window)
         if state is None:
             return
+        tracer = self.ctx.tracer
+        if tracer is not None:
+            with tracer.span("window_fire", operator=self.name,
+                             window=repr(window)):
+                self._fire_window(window, state)
+            return
+        self._fire_window(window, state)
+
+    def _fire_window(self, window: Any, state: Any) -> None:
         self._windows_fired.inc()
         key = self.ctx.current_key
         emit_ts = min(window.max_timestamp, 2**62)

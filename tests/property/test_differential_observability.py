@@ -1,0 +1,37 @@
+"""The differential oracle battery, instrumented: ``REPRO_OBSERVABILITY=1``
+turns the observability layer on for every engine the oracles build, and
+the whole battery must stay green -- instrumentation must never change
+what a pipeline computes.
+"""
+
+import pytest
+
+from repro.testing.fuzz import build_oracles, run_fuzz
+from repro.testing.oracles import DEFAULT_ORACLE_NAMES, make_oracle
+from repro.testing.seeds import rng_for, root_seed
+
+ROOT = root_seed(default=0)
+
+
+@pytest.fixture(autouse=True)
+def _observability_on(monkeypatch):
+    monkeypatch.setenv("REPRO_OBSERVABILITY", "1")
+
+
+@pytest.mark.parametrize("oracle_name", DEFAULT_ORACLE_NAMES)
+def test_oracle_green_with_observability(oracle_name):
+    oracle = make_oracle(oracle_name)
+    for index in range(4):
+        rng = rng_for(ROOT, oracle.name, index)
+        case = oracle.generate(rng, ROOT, index)
+        mismatch = oracle.check(case)
+        assert mismatch is None, (
+            "observability changed pipeline semantics:\n%s\n%s"
+            % (case.seed_line, mismatch))
+
+
+def test_fuzz_runner_green_with_observability():
+    report = run_fuzz(ROOT, build_oracles(list(DEFAULT_ORACLE_NAMES)),
+                      budget_cases=10)
+    assert report.ok, "\n\n".join(
+        failure.detail for failure in report.failures)
