@@ -145,6 +145,116 @@ def test_e5_batched_vs_scalar(benchmark):
     assert payload["speedup_batched_vs_scalar"] >= 3.0
 
 
+# -- multiprocess backend scaling (CLI gate) --------------------------------
+
+#: Compute-bound workload for the backend comparison: enough per-record
+#: work that the shared-nothing backend's win is parallel CPU, not
+#: pipe-transport accounting.
+MP_RECORDS = 40_000
+MP_HASH_ROUNDS = 400
+
+
+def _heavy(value):
+    acc = value & 0xFF
+    for _ in range(MP_HASH_ROUNDS):
+        acc = (acc * 1000003 ^ value) % 1000000007
+    return acc
+
+
+def run_backend_throughput(backend, workers, records=MP_RECORDS):
+    """The identical compute-heavy pipeline on either backend; returns
+    a payload with records/sec.  Parallelism equals ``workers`` in both
+    cases -- cooperative interleaves the subtasks on one core, the
+    multiprocess backend shards them across OS processes."""
+    kwargs = dict(batch_size=256, **BATCH_ENGINE_OPTS)
+    if backend == "multiprocess":
+        config = EngineConfig(backend="multiprocess", num_workers=workers,
+                              **kwargs)
+    else:
+        config = EngineConfig(**kwargs)
+    env = Environment(parallelism=workers, config=config)
+    result = (env.from_collection(list(range(records)))
+              .rebalance()
+              .map(_heavy, name="heavy")
+              .filter(lambda x: x % 64 == 0)
+              .collect())
+    start = time.perf_counter()
+    env.execute()
+    elapsed = time.perf_counter() - start
+    survivors = len(result.get())
+    assert survivors > 0
+    return {
+        "backend": backend,
+        "workers": workers,
+        "records": records,
+        "seconds": round(elapsed, 4),
+        "records_per_sec": round(records / elapsed, 1),
+        "survivors": survivors,
+    }
+
+
+def run_backend_scaling(workers, records=MP_RECORDS, rounds=2):
+    """Cooperative baseline vs multiprocess; best-of-``rounds`` each."""
+    def best(backend):
+        top = run_backend_throughput(backend, workers, records)
+        for _ in range(rounds - 1):
+            candidate = run_backend_throughput(backend, workers, records)
+            if candidate["records_per_sec"] > top["records_per_sec"]:
+                top = candidate
+        return top
+
+    cooperative = best("cooperative")
+    multiproc = best("multiprocess")
+    assert multiproc["survivors"] == cooperative["survivors"]
+    return {
+        "experiment": "e5_backend_scaling",
+        "pipeline": "source -> rebalance -> heavy map -> filter -> collect",
+        "modes": {"cooperative": cooperative, "multiprocess": multiproc},
+        "speedup_multiprocess_vs_cooperative": round(
+            multiproc["records_per_sec"]
+            / cooperative["records_per_sec"], 2),
+    }
+
+
+def main(argv=None):
+    """CLI gate: ``python benchmarks/bench_e5_throughput.py --backend
+    multiprocess --workers 4`` asserts the shared-nothing backend beats
+    single-process batched throughput by >= 2.5x."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", default="multiprocess",
+                        choices=("cooperative", "multiprocess"))
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--records", type=int, default=MP_RECORDS)
+    parser.add_argument("--min-speedup", type=float, default=2.5)
+    args = parser.parse_args(argv)
+
+    if args.backend == "cooperative":
+        payload = run_backend_throughput("cooperative", args.workers,
+                                         args.records)
+        print("cooperative: %(records_per_sec).1f records/s "
+              "(%(seconds).2fs for %(records)d records)" % payload)
+        return 0
+
+    payload = run_backend_scaling(args.workers, args.records)
+    coop = payload["modes"]["cooperative"]
+    multi = payload["modes"]["multiprocess"]
+    speedup = payload["speedup_multiprocess_vs_cooperative"]
+    print(format_table(
+        ["backend", "workers", "records/s", "seconds"],
+        [[mode["backend"], mode["workers"], mode["records_per_sec"],
+          mode["seconds"]] for mode in (coop, multi)],
+        title="E5: multiprocess backend scaling, %d records"
+              % args.records))
+    print("speedup: %.2fx (gate: >= %.1fx)" % (speedup, args.min_speedup))
+    record_json("e5_backend_scaling", payload)
+    if speedup < args.min_speedup:
+        print("FAIL: multiprocess speedup below gate")
+        return 1
+    return 0
+
+
 def test_e5_unshared_window_operators(benchmark):
     emitted = benchmark.pedantic(run_unshared, iterations=1, rounds=3)
     assert emitted > 0
@@ -187,3 +297,8 @@ def test_e5_speedup_summary(benchmark):
     assert shared_windows == unshared_windows
     # ...at materially higher throughput.
     assert rate_shared > rate_unshared * 1.5
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

@@ -191,7 +191,13 @@ class Environment:
                 "this environment already executed; create a new "
                 "Environment per job")
         job_graph = self.build_job_graph()
-        engine = Engine(job_graph, self.config)
+        if (self.config is not None
+                and getattr(self.config, "backend", "cooperative")
+                == "multiprocess"):
+            from repro.runtime.multiprocess import MultiprocessEngine
+            engine = MultiprocessEngine(job_graph, self.config)
+        else:
+            engine = Engine(job_graph, self.config)
         self._last_engine = engine
         if from_savepoint is not None:
             engine.restore_from_savepoint(from_savepoint)

@@ -155,6 +155,29 @@ class TransactionalSink:
                 os.remove(stale)
         self._publish()
 
+    def resume(self) -> None:
+        """Reattach to the on-disk artifacts of a previous attempt.
+
+        The multiprocess backend respawns workers on failure, so unlike
+        an in-process restart the sink *object* does not survive -- its
+        durable state does.  Committed records are reloaded from the
+        target file and pre-committed transactions from their side
+        files; :meth:`recover` then reconciles them against what the
+        restored checkpoint recorded as pending, exactly as it would
+        have against the live object's memory."""
+        self._buffer = []
+        self._committed = []
+        if os.path.exists(self.path):
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = [line.rstrip("\n") for line in handle]
+            self._committed = lines[len(self._header_lines()):]
+        self._pending = {}
+        for side in glob.glob(glob.escape(self.path) + ".pending-*"):
+            txn_id = int(side.rsplit("-", 1)[1])
+            with open(side, "r", encoding="utf-8") as handle:
+                self._pending[txn_id] = [line.rstrip("\n")
+                                         for line in handle]
+
     def write(self, value: Any) -> None:
         self._buffer.append(self._format(value))
 
@@ -297,10 +320,19 @@ class TransactionalSinkOperator(SinkOperator):
         super().__init__()
         self.name = name
         self._sink = sink
+        #: Set by the multiprocess backend on a recovery attempt, where
+        #: the sink is a fresh fork and ``open()``'s wipe would destroy
+        #: the previous attempt's durable artifacts; ``resume()``
+        #: reloads them from disk instead, and ``restore_state`` then
+        #: reconciles via ``recover()``.
+        self.resume_on_open = False
 
     def open(self, ctx: OperatorContext) -> None:
         super().open(ctx)
-        self._sink.open()
+        if self.resume_on_open:
+            self._sink.resume()
+        else:
+            self._sink.open()
 
     def process(self, record: Record) -> None:
         self._sink.write(record.value)

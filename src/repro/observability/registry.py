@@ -110,6 +110,32 @@ class MetricsRegistry:
             "probes": self.probe_results(),
         }
 
+    @staticmethod
+    def federate(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+        """Merge per-worker :meth:`snapshot` dicts into one job-level
+        view (the multiprocess backend ships one snapshot per worker
+        over the control pipe).  Counters sum; gauges union (scopes are
+        disjoint across workers, so collisions only hit registry-owned
+        runtime gauges, where last-wins matches :func:`merge_gauge_maps`
+        semantics); scoped counters and probe results union by scope,
+        summing on the rare collision."""
+        snapshots = list(snapshots)
+        merged: Dict[str, Any] = {
+            "counters": merge_counter_maps(
+                snap.get("counters", {}) for snap in snapshots),
+            "gauges": merge_gauge_maps(
+                snap.get("gauges", {}) for snap in snapshots),
+            "scoped": {},
+            "probes": {},
+        }
+        for snap in snapshots:
+            for scope, counters in snap.get("scoped", {}).items():
+                bucket = merged["scoped"].setdefault(scope, {})
+                for name, value in counters.items():
+                    bucket[name] = bucket.get(name, 0) + value
+            merged["probes"].update(snap.get("probes", {}))
+        return merged
+
     def __repr__(self) -> str:
         return ("MetricsRegistry(groups=%d, providers=%d, probes=%d)"
                 % (len(self._static_groups), len(self._providers),

@@ -39,7 +39,7 @@ class Channel:
     """A FIFO between one upstream and one downstream subtask."""
 
     __slots__ = ("name", "capacity", "_queue", "size", "pushed", "polled",
-                 "blocked", "finished")
+                 "cleared", "blocked", "finished")
 
     def __init__(self, name: str, capacity: int = 128) -> None:
         if capacity < 1:
@@ -51,12 +51,17 @@ class Channel:
         self.size = 0
         self.pushed = 0          # lifetime counters, reported as metrics
         self.polled = 0
+        #: Records dropped without being polled (failure-recovery clears
+        #: and chaos-injected losses).  The lifetime invariant is
+        #: ``pushed == polled + cleared + size``; throughput/occupancy
+        #: figures in ``job_report()`` rely on it holding post-restore.
+        self.cleared = 0
         self.blocked = False     # barrier alignment: reads suspended
         self.finished = False    # EndOfStream consumed
 
     def push(self, element: StreamElement) -> None:
         self._queue.append(element)
-        weight = len(element.records) if element.is_batch else 1
+        weight = element_weight(element)
         self.size += weight
         self.pushed += weight
 
@@ -65,7 +70,7 @@ class Channel:
         if self.blocked or not self._queue:
             return None
         element = self._queue.popleft()
-        weight = len(element.records) if element.is_batch else 1
+        weight = element_weight(element)
         self.size -= weight
         self.polled += weight
         return element
@@ -81,7 +86,7 @@ class Channel:
         and everything observing them -- stay comparable).  Reverses the
         poll-side accounting so ``pushed``/``polled`` still balance.
         """
-        weight = len(element.records) if element.is_batch else 1
+        weight = element_weight(element)
         self._queue.appendleft(element)
         self.size += weight
         self.polled -= weight
@@ -104,7 +109,14 @@ class Channel:
         return bool(self._queue) and not self.blocked and not self.finished
 
     def clear(self) -> None:
-        """Drop all buffered elements (used on failure/restore)."""
+        """Drop all buffered elements (used on failure/restore).
+
+        The dropped records are accounted in ``cleared`` -- they were
+        pushed but will never be polled -- so the lifetime counters stay
+        balanced and post-restore throughput/occupancy figures are not
+        skewed by phantom in-flight records.
+        """
+        self.cleared += self.size
         self._queue.clear()
         self.size = 0
         self.blocked = False
@@ -130,12 +142,14 @@ class Channel:
             if element.is_record:
                 del self._queue[index]
                 self.size -= 1
+                self.cleared += 1
                 return True
             if element.is_batch and element.records:
                 element.records.pop(0)
                 if not element.records:
                     del self._queue[index]
                 self.size -= 1
+                self.cleared += 1
                 return True
         return False
 
@@ -146,10 +160,12 @@ class Channel:
             if element.is_record:
                 self._queue.insert(index, element)
                 self.size += 1
+                self.pushed += 1
                 return True
             if element.is_batch and element.records:
                 element.records.insert(0, element.records[0])
                 self.size += 1
+                self.pushed += 1
                 return True
         return False
 

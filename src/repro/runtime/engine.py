@@ -75,6 +75,15 @@ class EngineConfig:
     modes.  Results are element-for-element identical either way --
     batching is purely a mechanical-sympathy knob.
 
+    ``backend`` selects the execution backend.  ``"cooperative"`` (the
+    default) is the deterministic single-interpreter scheduler below;
+    ``"multiprocess"`` shards the subtask grid across ``num_workers``
+    OS processes, each driving this same cooperative engine over its
+    shard, with hash-partitioned exchanges over pipes -- results are
+    element-equal as multisets, throughput scales with cores, and
+    per-round scheduling interleavings are no longer globally
+    deterministic (see :mod:`repro.runtime.multiprocess`).
+
     ``observability`` turns the runtime observability layer on: ``True``
     (or an :class:`~repro.observability.ObservabilityConfig`) gives the
     engine a metrics registry, span tracing and lag/backpressure gauges,
@@ -84,6 +93,8 @@ class EngineConfig:
     """
 
     def __init__(self, *,
+                 backend: str = "cooperative",
+                 num_workers: Optional[int] = None,
                  channel_capacity: int = 128,
                  elements_per_step: int = 32,
                  batch_size: Optional[int] = None,
@@ -103,6 +114,23 @@ class EngineConfig:
                  **unknown: Any) -> None:
         if unknown:
             raise TypeError(_unknown_options_message(unknown))
+        if backend not in ("cooperative", "multiprocess"):
+            raise ValueError(
+                "backend must be 'cooperative' or 'multiprocess'; got %r"
+                % (backend,))
+        if num_workers is not None and num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if backend == "multiprocess":
+            unsupported = [name for name, value in
+                           (("failure_hook", failure_hook),
+                            ("cancel_hook", cancel_hook),
+                            ("chaos", chaos)) if value is not None]
+            if unsupported:
+                raise ValueError(
+                    "%s require the cooperative backend (they reach into "
+                    "the single-process scheduler); the multiprocess "
+                    "backend injects faults through quarantine and "
+                    "supervised restarts instead" % ", ".join(unsupported))
         if channel_capacity < 1:
             raise ValueError("channel_capacity must be >= 1")
         if elements_per_step < 1:
@@ -123,6 +151,15 @@ class EngineConfig:
                 "tolerable_consecutive_checkpoint_failures must be >= 0")
         if quarantine_threshold is not None and quarantine_threshold < 0:
             raise ValueError("quarantine_threshold must be >= 0")
+        #: Which execution backend runs the job: ``"cooperative"`` (the
+        #: deterministic single-process reference scheduler) or
+        #: ``"multiprocess"`` (shared-nothing OS-process workers with
+        #: hash-partitioned pipe exchanges; see
+        #: :mod:`repro.runtime.multiprocess`).
+        self.backend = backend
+        #: Worker-process count for the multiprocess backend; ``None``
+        #: resolves to ``os.cpu_count()`` (capped at 8) at launch.
+        self.num_workers = num_workers
         self.channel_capacity = channel_capacity
         self.elements_per_step = elements_per_step
         self.batch_size = batch_size
@@ -311,25 +348,38 @@ class Engine:
         for edge in self.job_graph.edges:
             upstream = self._tasks_by_vertex[edge.source_vertex]
             downstream = self._tasks_by_vertex[edge.target_vertex]
-            target_input = edge.target_input
             if (isinstance(edge.partitioner, ForwardPartitioner)
                     and len(upstream) != len(downstream)):
                 raise ValueError(
                     "forward edge %r requires equal parallelism (%d vs %d)"
                     % (edge, len(upstream), len(downstream)))
             for up in upstream:
-                channels = []
-                for down in downstream:
-                    channel = Channel(
-                        "%s#%d->%s#%d" % (up.vertex_name, up.subtask_index,
-                                          down.vertex_name,
-                                          down.subtask_index),
-                        capacity=cfg.channel_capacity)
-                    down.add_input(channel, target_input)
-                    channels.append(channel)
-                up.add_output_edge(OutputEdge(edge.partitioner, channels,
-                                              up.subtask_index))
+                channels = [self._create_channel(edge, up, down)
+                            for down in downstream]
+                # Stateful partitioners (rebalance) are cloned per
+                # upstream subtask: each subtask owns its own cursor, so
+                # the cursor belongs to exactly one task's checkpoint
+                # snapshot and restores consistently.
+                up.add_output_edge(OutputEdge(edge.partitioner.clone(),
+                                              channels, up.subtask_index))
 
+        self._finalize_build()
+
+    def _create_channel(self, edge: Any, up: Task, down: Task) -> Channel:
+        """Create and wire the physical channel between two subtasks.
+        Overridden by the multiprocess backend's shard engine, which
+        substitutes cross-worker channels with pipe-backed exchanges."""
+        channel = Channel(
+            "%s#%d->%s#%d" % (up.vertex_name, up.subtask_index,
+                              down.vertex_name, down.subtask_index),
+            capacity=self.config.channel_capacity)
+        down.add_input(channel, edge.target_input)
+        return channel
+
+    def _finalize_build(self) -> None:
+        """Open every deployed task.  The shard engine discards foreign
+        subtasks before opening, so operators with side effects (file
+        sinks) only ever open on their owning worker."""
         for task in self.tasks:
             task.open()
 
@@ -636,6 +686,37 @@ class Engine:
 
     # -- the loop -----------------------------------------------------------
 
+    def _step_tasks(self, rounds: int) -> bool:
+        """One fair scheduling pass: every runnable task gets one bounded
+        ``step()``.  Shared by ``execute()`` and the multiprocess
+        backend's shard loop, so failure handling and chaos stalls mean
+        the same thing on both backends."""
+        cfg = self.config
+        progressed = False
+        for task in self.tasks:
+            if not task.is_runnable:
+                continue
+            if cfg.chaos is not None and cfg.chaos.is_stalled(task, rounds):
+                continue
+            try:
+                if task.step():
+                    progressed = True
+            except Exception as exc:
+                self._handle_failure(exc)
+                progressed = True
+                break
+        return progressed
+
+    def _next_processing_timer(self) -> int:
+        """The earliest pending processing-time timer across live tasks,
+        or ``MAX_TIMESTAMP`` when none exists (used to jump the clock
+        over idle stretches)."""
+        return min(
+            (chained.timers.processing_time.peek_timestamp()
+             for task in self.tasks if not task.finished
+             for chained in task.chain),
+            default=MAX_TIMESTAMP)
+
     def execute(self) -> JobResult:
         cfg = self.config
         obs = self.observability
@@ -659,19 +740,7 @@ class Engine:
                 except Exception as exc:
                     self._handle_failure(exc)
 
-            progressed = False
-            for task in self.tasks:
-                if not task.is_runnable:
-                    continue
-                if cfg.chaos is not None and cfg.chaos.is_stalled(task, rounds):
-                    continue
-                try:
-                    if task.step():
-                        progressed = True
-                except Exception as exc:
-                    self._handle_failure(exc)
-                    progressed = True
-                    break
+            progressed = self._step_tasks(rounds)
 
             self._deliver_checkpoint_notifications()
             self.clock.advance(cfg.tick_ms)
@@ -689,11 +758,7 @@ class Engine:
                 continue
             # No record progress: jump the clock to the next processing
             # timer if one exists, otherwise count towards a stall.
-            next_timer = min(
-                (chained.timers.processing_time.peek_timestamp()
-                 for task in self.tasks if not task.finished
-                 for chained in task.chain),
-                default=MAX_TIMESTAMP)
+            next_timer = self._next_processing_timer()
             if next_timer < MAX_TIMESTAMP and next_timer > now:
                 self.clock.set(next_timer)
                 for task in self.tasks:
@@ -707,8 +772,16 @@ class Engine:
                     % (stall_rounds,
                        [t for t in self.tasks if not t.finished]))
 
-        if obs is not None:
-            obs.sample()  # final frontier/occupancy snapshot
+        return self._assemble_result(rounds, cancelled)
+
+    def _assemble_result(self, rounds: int, cancelled: bool = False
+                         ) -> JobResult:
+        """Merge task/coordinator metrics into the JobResult and cache it
+        for ``job_report()``.  Split out of ``execute()`` because the
+        multiprocess backend's shard loop assembles per-worker results
+        through the same path."""
+        if self.observability is not None:
+            self.observability.sample()  # final frontier/occupancy snapshot
         counters = merge_counter_maps(
             [task.metrics.counters() for task in self.tasks]
             + [self.metrics.counters()])
@@ -818,6 +891,7 @@ class Engine:
                         "channel": channel.name,
                         "pushed": channel.pushed,
                         "polled": channel.polled,
+                        "cleared": channel.cleared,
                         "occupancy_hwm": obs.registry.gauge(
                             "channel_occupancy.%s"
                             % channel.name).max_value,

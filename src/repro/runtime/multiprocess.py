@@ -1,0 +1,1027 @@
+"""Shared-nothing multiprocess execution backend.
+
+Shards the subtask grid of a JobGraph across ``num_workers`` OS
+processes.  Each worker runs the unmodified cooperative engine
+(:class:`~repro.runtime.engine.Engine`) over the subtasks it owns
+(ownership is ``subtask_index % num_workers``, so forward/chained edges
+stay worker-local); records crossing worker boundaries travel as pickled
+stream elements over POSIX pipes, hash-partitioned by the same
+run-stable :func:`~repro.runtime.partition.hash_key` as in-process
+exchanges -- which is exactly why that hash must not depend on
+``PYTHONHASHSEED`` or object addresses.
+
+Design notes:
+
+* **fork only.**  Job graphs close over lambdas and bound methods that
+  do not survive pickling, so workers are forked and inherit the graph
+  (and, on recovery, the restore snapshots) by copy-on-write -- never
+  serialised.
+* **One pipe per ordered worker pair.**  A pipe has a single writer, so
+  per-channel FIFO order is preserved end to end; elements are framed as
+  ``(channel ordinal, element)`` where ordinals are assigned by graph
+  construction order -- identical in every worker by determinism of
+  ``_build``.
+* **Flush-before-control is preserved**: barriers, watermarks and
+  ``EndOfStream`` flow *in-band* through the same pipes as data (the
+  task runtime already flushes its record buffer before broadcasting
+  control elements), so alignment works unchanged across processes.
+* **Backpressure** is modelled on the sender: an
+  :class:`EgressChannel` reports itself full while its writer has more
+  than a soft limit of unflushed bytes, which stalls the producing task
+  through the ordinary ``has_output_capacity`` scan.  Writes are
+  non-blocking so two workers saturating each other's pipes cannot
+  deadlock.
+* **The parent process is the checkpoint coordinator**: it triggers
+  barriers on a wall-clock interval, collects acks (each carrying the
+  subtask snapshot) over the control pipes, seals completed checkpoints
+  into its :class:`~repro.state.checkpoint.CheckpointStore`, and
+  broadcasts completion notifications (the 2PC commit signal).  On a
+  worker failure it tears down the whole fleet and respawns it from the
+  latest completed checkpoint -- shared-nothing recovery with fresh
+  pipes, so no epoch filtering is needed.
+* **Collect sinks stream** their buckets to the parent incrementally;
+  the parent replays them into the caller-visible result buckets on
+  success.  Delivery is at-least-once across a checkpoint restore
+  (matching non-transactional sinks on the cooperative backend);
+  restart-from-scratch discards the partial output.
+
+Not supported (cooperative-backend-only): queryable state, savepoints,
+``failure_hook``/``cancel_hook``/chaos injection, and cross-backend
+determinism of *processing-time* semantics (each worker advances its own
+simulated clock; event-time pipelines are bit-equal as multisets).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import selectors
+import struct
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.metrics import merge_counter_maps, merge_gauge_maps
+from repro.runtime.channels import Channel, element_weight
+from repro.runtime.elements import MAX_TIMESTAMP, StreamElement
+from repro.runtime.engine import (
+    Engine,
+    EngineConfig,
+    JobFailedError,
+    JobResult,
+    JobStalledError,
+)
+from repro.runtime.operators import CollectSink
+from repro.runtime.task import Task
+from repro.state.checkpoint import (
+    CheckpointStore,
+    PendingCheckpoint,
+    SubtaskId,
+    TaskSnapshot,
+)
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+_LEN = struct.Struct("<I")
+_READ_CHUNK = 1 << 16
+#: Unflushed bytes per egress writer beyond which the sending channels
+#: report themselves full (sender-side backpressure).
+_EGRESS_SOFT_LIMIT = 4 * 1024 * 1024
+#: A worker that makes no progress for this long escalates a stall
+#: instead of hanging the job (the cooperative engine counts idle
+#: rounds; a worker must also account for time spent blocked on pipes).
+_STALL_TIMEOUT_S = 60.0
+_IDLE_WAIT_S = 0.02
+
+
+class _Stop(Exception):
+    """Parent asked this worker to exit (failure elsewhere)."""
+
+
+# -- pipe framing -----------------------------------------------------------
+
+
+class _FrameWriter:
+    """Length-prefixed pickle frames over a non-blocking pipe fd.
+
+    Writes never block: bytes the kernel will not take queue in a
+    userspace buffer whose depth (``pending_bytes``) doubles as the
+    backpressure signal.  A broken pipe (the reader died) is swallowed
+    -- the supervisor learns about dead workers through its own control
+    pipes, and a writer blowing up mid-teardown would mask the original
+    failure.
+    """
+
+    def __init__(self, fd: int) -> None:
+        os.set_blocking(fd, False)
+        self.fd = fd
+        self._buffer = bytearray()
+        self.broken = False
+
+    def send(self, message: Any) -> None:
+        payload = pickle.dumps(message, _PICKLE_PROTOCOL)
+        self._buffer += _LEN.pack(len(payload))
+        self._buffer += payload
+        self.flush()
+
+    def flush(self) -> bool:
+        """Push buffered bytes into the pipe; True when fully drained."""
+        while self._buffer:
+            if self.broken:
+                self._buffer.clear()
+                break
+            try:
+                written = os.write(self.fd, self._buffer)
+            except BlockingIOError:
+                return False
+            except (BrokenPipeError, OSError):
+                self.broken = True
+                self._buffer.clear()
+                break
+            del self._buffer[:written]
+        return True
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+    def drain(self) -> None:
+        """Blocking flush -- used at orderly shutdown, when losing the
+        tail of the stream would lose data (EOS, the done payload)."""
+        if self.broken:
+            self._buffer.clear()
+            return
+        os.set_blocking(self.fd, True)
+        try:
+            while self._buffer:
+                written = os.write(self.fd, self._buffer)
+                del self._buffer[:written]
+        except (BrokenPipeError, OSError):
+            self.broken = True
+            self._buffer.clear()
+        finally:
+            try:
+                os.set_blocking(self.fd, False)
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        try:
+            os.close(self.fd)
+        except OSError:
+            pass
+
+
+class _FrameReader:
+    """The receiving half: drains a non-blocking pipe and reassembles
+    length-prefixed pickle frames."""
+
+    def __init__(self, fd: int) -> None:
+        os.set_blocking(fd, False)
+        self.fd = fd
+        self._buffer = bytearray()
+        self.eof = False
+
+    def read_available(self) -> List[Any]:
+        while not self.eof:
+            try:
+                chunk = os.read(self.fd, _READ_CHUNK)
+            except BlockingIOError:
+                break
+            except OSError:
+                self.eof = True
+                break
+            if not chunk:
+                self.eof = True
+                break
+            self._buffer += chunk
+        messages: List[Any] = []
+        buffer = self._buffer
+        offset = 0
+        while len(buffer) - offset >= _LEN.size:
+            (length,) = _LEN.unpack_from(buffer, offset)
+            if len(buffer) - offset - _LEN.size < length:
+                break
+            start = offset + _LEN.size
+            messages.append(pickle.loads(bytes(buffer[start:start + length])))
+            offset = start + length
+        if offset:
+            del buffer[:offset]
+        return messages
+
+    @property
+    def exhausted(self) -> bool:
+        return self.eof and not self._buffer
+
+    def close(self) -> None:
+        try:
+            os.close(self.fd)
+        except OSError:
+            pass
+
+
+# -- the exchange channel ---------------------------------------------------
+
+
+class EgressChannel(Channel):
+    """The sending half of a cross-worker exchange.
+
+    Looks like an ordinary :class:`Channel` to the task runtime --
+    ``push`` accepts any stream element, ``size``/``capacity`` drive the
+    scheduler's backpressure scan -- but elements leave the process as
+    ``(ordinal, element)`` frames instead of queueing.  Occupancy is
+    synthesised from the writer's unflushed depth: the channel reports
+    full while the pipe is congested, idle otherwise, so one slow
+    consumer throttles exactly the producers feeding it.
+    """
+
+    __slots__ = ("ordinal", "writer")
+
+    def __init__(self, name: str, capacity: int, writer: _FrameWriter,
+                 ordinal: int) -> None:
+        super().__init__(name, capacity)
+        self.ordinal = ordinal
+        self.writer = writer
+
+    def push(self, element: StreamElement) -> None:
+        self.pushed += element_weight(element)
+        self.writer.send((self.ordinal, element))
+        self.update_pressure()
+
+    def update_pressure(self) -> None:
+        self.size = (self.capacity
+                     if self.writer.pending_bytes > _EGRESS_SOFT_LIMIT else 0)
+
+
+# -- the per-worker engine --------------------------------------------------
+
+
+class ShardEngine(Engine):
+    """The cooperative engine over one worker's shard of the grid.
+
+    Built from the *full* job graph so channel ordinals and partitioner
+    fan-out are identical everywhere, then foreign subtasks are
+    discarded before opening (side-effecting operators only ever open on
+    their owning worker).  Checkpoint coordination is inverted: this
+    engine never triggers checkpoints, it acknowledges them to the
+    parent coordinator over the control pipe.
+    """
+
+    def __init__(self, job_graph: Any, config: EngineConfig, worker_id: int,
+                 num_workers: int, data_writers: Dict[int, _FrameWriter],
+                 control: _FrameWriter, restoring: bool = False) -> None:
+        self.worker_id = worker_id
+        self.num_workers = num_workers
+        self._data_writers = data_writers
+        self._control = control
+        self._restoring = restoring
+        self.egress: List[EgressChannel] = []
+        #: channel ordinal -> local ingress channel (cross-worker edges in).
+        self.ingress: Dict[int, Channel] = {}
+        #: source worker -> its ingress channels here (flow-control scan).
+        self.ingress_by_source: Dict[int, List[Channel]] = {}
+        self._channel_ordinal = 0
+        #: ``((vertex_id, chain_position), outbox)`` for every owned
+        #: collect sink; drained to the parent each round.
+        self.collect_outboxes: List[Tuple[Tuple[int, int], List[Any]]] = []
+        super().__init__(job_graph, config)
+
+    def _owns(self, task: Task) -> bool:
+        return task.subtask_index % self.num_workers == self.worker_id
+
+    # -- construction overrides -------------------------------------------
+
+    def _create_channel(self, edge: Any, up: Task, down: Task) -> Channel:
+        ordinal = self._channel_ordinal
+        self._channel_ordinal += 1
+        name = "%s#%d->%s#%d" % (up.vertex_name, up.subtask_index,
+                                 down.vertex_name, down.subtask_index)
+        if self._owns(down):
+            channel = Channel(name, capacity=self.config.channel_capacity)
+            down.add_input(channel, edge.target_input)
+            if not self._owns(up):
+                self.ingress[ordinal] = channel
+                source = up.subtask_index % self.num_workers
+                self.ingress_by_source.setdefault(source, []).append(channel)
+            return channel
+        if self._owns(up):
+            channel = EgressChannel(
+                name, self.config.channel_capacity,
+                self._data_writers[down.subtask_index % self.num_workers],
+                ordinal)
+            self.egress.append(channel)
+            return channel
+        # Neither endpoint is local: a placeholder so ordinals and edge
+        # shapes stay aligned; both endpoint tasks are discarded below.
+        return Channel(name, capacity=self.config.channel_capacity)
+
+    def _finalize_build(self) -> None:
+        self.tasks = [task for task in self.tasks if self._owns(task)]
+        for vertex_id in list(self._tasks_by_vertex):
+            self._tasks_by_vertex[vertex_id] = [
+                task for task in self._tasks_by_vertex[vertex_id]
+                if self._owns(task)]
+        from repro.connectors.sinks import TransactionalSinkOperator
+        for task in self.tasks:
+            for position, chained in enumerate(task.chain):
+                operator = chained.operator
+                if (self._restoring
+                        and isinstance(operator, TransactionalSinkOperator)):
+                    # A respawned worker must reattach to -- not wipe --
+                    # the durable 2PC artifacts of the prior attempt.
+                    operator.resume_on_open = True
+                if isinstance(operator, CollectSink):
+                    # Redirect the sink into a worker-local outbox; the
+                    # closure-shared bucket lives in the parent process
+                    # and is repopulated from the streamed outboxes.
+                    outbox: List[Any] = []
+                    operator._bucket = outbox
+                    self.collect_outboxes.append(
+                        ((task.vertex_id, position), outbox))
+        for task in self.tasks:
+            task.open()
+
+    # -- checkpoint inversion ----------------------------------------------
+
+    def _maybe_trigger_checkpoint(self) -> None:
+        pass  # the parent coordinator owns triggering
+
+    def _acknowledge_checkpoint(self, checkpoint_id: int,
+                                snapshot: TaskSnapshot) -> None:
+        self._control.send(("ack", checkpoint_id, snapshot))
+
+    def _handle_failure(self, exc: BaseException) -> None:
+        # No in-worker supervision: every failure (quarantine escalation
+        # included) tears down the shard and escalates to the parent,
+        # which owns the restart strategy and the checkpoint store.
+        self._failures_metric.inc()
+        raise exc
+
+    # -- the shard loop -----------------------------------------------------
+
+    def handle_control(self, message: Tuple[Any, ...]) -> None:
+        kind = message[0]
+        if kind == "trigger":
+            checkpoint_id = message[1]
+            for task in self.tasks:
+                if task.is_source and not task.finished:
+                    task.pending_checkpoint = checkpoint_id
+        elif kind == "notify":
+            for task in self.tasks:
+                if not task.finished:
+                    task.notify_checkpoint_complete(message[1])
+        elif kind == "abort":
+            for task in self.tasks:
+                task.abort_checkpoint(message[1])
+        elif kind == "stop":
+            raise _Stop()
+
+    def pump_ingress(self, readers: Dict[int, _FrameReader]) -> bool:
+        """Move pipe frames into local ingress channels.
+
+        A reader is skipped while the channels it feeds hold several
+        capacities' worth of records -- receiver-side flow control so a
+        fast sender cannot balloon this worker's queues (the sender's
+        own soft limit then backpressures it).  The margin is generous
+        because barrier alignment legitimately buffers past capacity.
+        """
+        moved = False
+        for source, reader in readers.items():
+            channels = self.ingress_by_source.get(source)
+            if channels:
+                budget = 4 * sum(ch.capacity for ch in channels)
+                if sum(ch.size for ch in channels) > budget:
+                    continue
+            for ordinal, element in reader.read_available():
+                self.ingress[ordinal].push(element)
+                moved = True
+        return moved
+
+    def flush_egress(self) -> None:
+        for writer in self._data_writers.values():
+            writer.flush()
+        for channel in self.egress:
+            channel.update_pressure()
+
+    def drain_collect(self) -> None:
+        for key, outbox in self.collect_outboxes:
+            if outbox:
+                self._control.send(("collect", key, list(outbox)))
+                del outbox[:]
+
+    def run(self, readers: Dict[int, _FrameReader],
+            control_in: _FrameReader) -> Dict[str, Any]:
+        """Drive the shard to completion; returns the done payload."""
+        config = self.config
+        control = self._control
+        reported_finished: set = set()
+        rounds = 0
+        last_progress = time.monotonic()
+        while not all(task.finished for task in self.tasks):
+            if rounds >= config.max_rounds:
+                raise JobStalledError(
+                    "worker %d exceeded max_rounds=%d; unfinished: %r"
+                    % (self.worker_id, config.max_rounds,
+                       [t for t in self.tasks if not t.finished]))
+            for message in control_in.read_available():
+                self.handle_control(message)
+            if control_in.exhausted:
+                raise _Stop()  # the parent died; do not run on orphaned
+            moved = self.pump_ingress(readers)
+            progressed = self._step_tasks(rounds)
+            self.clock.advance(config.tick_ms)
+            now = self.clock.now()
+            for task in self.tasks:
+                task.on_processing_time(now)
+            rounds += 1
+            if self.observability is not None:
+                self.observability.on_round(rounds)
+            self.flush_egress()
+            self.drain_collect()
+            for task in self.tasks:
+                if task.finished and task.subtask_id not in reported_finished:
+                    reported_finished.add(task.subtask_id)
+                    control.send(("task_finished", task.subtask_id))
+            control.flush()
+            if progressed or moved:
+                last_progress = time.monotonic()
+                continue
+            next_timer = self._next_processing_timer()
+            if MAX_TIMESTAMP > next_timer > now:
+                self.clock.set(next_timer)
+                for task in self.tasks:
+                    task.on_processing_time(next_timer)
+                last_progress = time.monotonic()
+                continue
+            if time.monotonic() - last_progress > _STALL_TIMEOUT_S:
+                raise JobStalledError(
+                    "worker %d made no progress for %.0fs; unfinished: %r"
+                    % (self.worker_id, _STALL_TIMEOUT_S,
+                       [t for t in self.tasks if not t.finished]))
+            self._idle_wait(readers, control_in)
+
+        # Orderly completion: every EOS and trailing record must reach
+        # its peer before the fds close.
+        for writer in self._data_writers.values():
+            writer.drain()
+        self.drain_collect()
+        result = self._assemble_result(rounds)
+        return {
+            "worker": self.worker_id,
+            "rounds": rounds,
+            "simulated_time_ms": result.simulated_time_ms,
+            "counters": result.counters,
+            "gauges": result.gauges,
+            "dead_letters": _sanitize_dead_letters(self.dead_letters),
+            "report_sections": self.job_report().as_dict(),
+            "registry": (self.observability.registry.snapshot()
+                         if self.observability is not None else None),
+        }
+
+    def _idle_wait(self, readers: Dict[int, _FrameReader],
+                   control_in: _FrameReader) -> None:
+        """Block on the pipes instead of spinning: wake on inbound data,
+        a control message, or a congested writer draining."""
+        selector = selectors.DefaultSelector()
+        try:
+            selector.register(control_in.fd, selectors.EVENT_READ)
+            for reader in readers.values():
+                if not reader.eof:
+                    selector.register(reader.fd, selectors.EVENT_READ)
+            for writer in self._data_writers.values():
+                if writer.pending_bytes and not writer.broken:
+                    selector.register(writer.fd, selectors.EVENT_WRITE)
+            selector.select(_IDLE_WAIT_S)
+        finally:
+            selector.close()
+
+
+def _sanitize_dead_letters(letters: List[Any]) -> List[Any]:
+    """Dead letters cross the control pipe; a letter whose value defeats
+    pickle is downgraded to its repr rather than killing the report."""
+    sane: List[Any] = []
+    for letter in letters:
+        try:
+            pickle.dumps(letter, _PICKLE_PROTOCOL)
+            sane.append(letter)
+        except Exception:
+            from repro.runtime.faults import DeadLetter
+            sane.append(DeadLetter(repr(letter.value), letter.timestamp,
+                                   repr(letter.key), letter.operator,
+                                   letter.subtask_index,
+                                   RuntimeError(letter.error)))
+    return sane
+
+
+# -- worker process entry ---------------------------------------------------
+
+
+def _worker_main(worker_id: int, num_workers: int, job_graph: Any,
+                 config: EngineConfig,
+                 data_fds: Dict[Tuple[int, int], Tuple[int, int]],
+                 control_fds: Dict[int, Tuple[int, int, int, int]],
+                 restore: Optional[Dict[SubtaskId, TaskSnapshot]]) -> None:
+    # Keep only this worker's pipe ends; closing the rest is what gives
+    # every pipe exactly one writer and one reader (EOF semantics).
+    writers: Dict[int, _FrameWriter] = {}
+    readers: Dict[int, _FrameReader] = {}
+    for (src, dst), (read_fd, write_fd) in data_fds.items():
+        if src == worker_id:
+            os.close(read_fd)
+            writers[dst] = _FrameWriter(write_fd)
+        elif dst == worker_id:
+            os.close(write_fd)
+            readers[src] = _FrameReader(read_fd)
+        else:
+            os.close(read_fd)
+            os.close(write_fd)
+    control_in: Optional[_FrameReader] = None
+    control_out: Optional[_FrameWriter] = None
+    for wid, (to_r, to_w, from_r, from_w) in control_fds.items():
+        if wid == worker_id:
+            os.close(to_w)
+            os.close(from_r)
+            control_in = _FrameReader(to_r)
+            control_out = _FrameWriter(from_w)
+        else:
+            for fd in (to_r, to_w, from_r, from_w):
+                os.close(fd)
+    assert control_in is not None and control_out is not None
+    try:
+        engine = ShardEngine(job_graph, config, worker_id, num_workers,
+                             writers, control_out,
+                             restoring=restore is not None)
+        if restore is not None:
+            for task in engine.tasks:
+                snapshot = restore.get(task.subtask_id)
+                if snapshot is not None:
+                    task.restore(snapshot)
+        payload = engine.run(readers, control_in)
+        control_out.send(("done", payload))
+        control_out.drain()
+    except _Stop:
+        pass
+    except BaseException as exc:
+        try:
+            control_out.send(("failed", type(exc).__name__,
+                              "".join(traceback.format_exception_only(
+                                  type(exc), exc)).strip(),
+                              traceback.format_exc()))
+            control_out.drain()
+        except Exception:
+            pass
+    finally:
+        for writer in writers.values():
+            writer.close()
+        for reader in readers.values():
+            reader.close()
+        control_in.close()
+        control_out.close()
+
+
+# -- the parent coordinator -------------------------------------------------
+
+
+class MultiprocessEngine:
+    """Launches, supervises and federates the worker fleet.
+
+    API-compatible with :class:`~repro.runtime.engine.Engine` for the
+    surface the :class:`~repro.api.Environment` facade uses --
+    ``execute()``, ``job_report()``, ``checkpoint_store``,
+    ``dead_letters``, ``recoveries``/``restarts`` -- so callers switch
+    backends with one config knob.  Cooperative-only facilities
+    (queryable state, savepoints) raise instead of silently degrading.
+    """
+
+    def __init__(self, job_graph: Any,
+                 config: Optional[EngineConfig] = None) -> None:
+        import multiprocessing
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise JobFailedError(
+                "the multiprocess backend requires the fork start method "
+                "(job graphs close over unpicklable callables); this "
+                "platform offers %r"
+                % (multiprocessing.get_all_start_methods(),))
+        self._mp = multiprocessing.get_context("fork")
+        self.job_graph = job_graph
+        self.config = config or EngineConfig(backend="multiprocess")
+        self.num_workers = (self.config.num_workers
+                            or max(1, min(os.cpu_count() or 1, 8)))
+        self.checkpoint_store = CheckpointStore(
+            self.config.max_retained_checkpoints)
+        self.dead_letters: List[Any] = []
+        self.recoveries = 0
+        self.restarts = 0
+        self._failures = 0
+        self._checkpoints_completed = 0
+        self._checkpoints_aborted = 0
+        self._checkpoint_durations: List[int] = []
+        self._consecutive_checkpoint_failures = 0
+        self._next_checkpoint_id = 1
+        self._started = time.monotonic()
+        self._last_result: Optional[JobResult] = None
+        self._worker_sections: List[Dict[str, Any]] = []
+        self._registry_snapshots: List[Dict[str, Any]] = []
+        #: Collect-sink output received from workers, keyed by
+        #: ``(vertex_id, chain_position)``; merged into the real buckets
+        #: only on success so a restart-from-scratch can discard it.
+        self._received: Dict[Tuple[int, int], List[Any]] = {}
+        self._parent_buckets = self._discover_collect_buckets()
+        self._all_subtasks, self._source_subtasks = self._subtask_grid()
+
+    # -- static views of the graph ------------------------------------------
+
+    def _discover_collect_buckets(self) -> Dict[Tuple[int, int], List[Any]]:
+        """Map ``(vertex_id, chain_position)`` to the caller-visible
+        bucket list.  Operator factories are closures over the bucket,
+        so instantiating one in the parent recovers the same list object
+        the :class:`~repro.api.environment.CollectResult` wraps."""
+        buckets: Dict[Tuple[int, int], List[Any]] = {}
+        for vertex_id, vertex in sorted(self.job_graph.vertices.items()):
+            for position, factory in enumerate(vertex.operator_factories):
+                operator = factory()
+                if isinstance(operator, CollectSink):
+                    buckets[(vertex_id, position)] = operator._bucket
+        return buckets
+
+    def _subtask_grid(self) -> Tuple[set, set]:
+        all_subtasks = set()
+        source_subtasks = set()
+        source_ids = {vertex_id for vertex_id, vertex
+                      in self.job_graph.vertices.items()
+                      if not any(edge.target_vertex == vertex_id
+                                 for edge in self.job_graph.edges)}
+        for vertex_id, vertex in self.job_graph.vertices.items():
+            operator_id = "%d-%s" % (vertex_id, vertex.name)
+            for index in range(vertex.parallelism):
+                subtask = (operator_id, index)
+                all_subtasks.add(subtask)
+                if vertex_id in source_ids:
+                    source_subtasks.add(subtask)
+        return all_subtasks, source_subtasks
+
+    def _now_ms(self) -> int:
+        return int((time.monotonic() - self._started) * 1000)
+
+    # -- execution ----------------------------------------------------------
+
+    def execute(self) -> JobResult:
+        if self._last_result is not None:
+            raise JobFailedError("this engine already executed")
+        restore: Optional[Dict[SubtaskId, TaskSnapshot]] = None
+        while True:
+            outcome = self._run_attempt(restore)
+            if outcome.get("ok"):
+                return self._finalize(outcome["payloads"])
+            error: BaseException = outcome["error"]
+            self._failures += 1
+            strategy = self.config.restart_strategy
+            if strategy is None:
+                raise error
+            delay_ms = strategy.on_failure(self._now_ms())
+            if delay_ms is None:
+                raise JobFailedError(
+                    "restart strategy %r gave up after: %r"
+                    % (strategy, error)) from error
+            if delay_ms:
+                time.sleep(delay_ms / 1000.0)
+            self.restarts += 1
+            self.recoveries += 1
+            latest = self.checkpoint_store.latest
+            if latest is not None:
+                restore = dict(latest.snapshots)
+            else:
+                restore = None
+                self._received.clear()  # partial output of a dead attempt
+
+    def _run_attempt(self, restore: Optional[Dict[SubtaskId, TaskSnapshot]]
+                     ) -> Dict[str, Any]:
+        num = self.num_workers
+        data_fds = {(src, dst): os.pipe()
+                    for src in range(num) for dst in range(num) if src != dst}
+        control_fds = {}
+        for wid in range(num):
+            to_r, to_w = os.pipe()
+            from_r, from_w = os.pipe()
+            control_fds[wid] = (to_r, to_w, from_r, from_w)
+        processes = []
+        for wid in range(num):
+            process = self._mp.Process(
+                target=_worker_main,
+                args=(wid, num, self.job_graph, self.config, data_fds,
+                      control_fds, restore),
+                daemon=True)
+            process.start()
+            processes.append(process)
+        # The parent keeps only its control ends.
+        for read_fd, write_fd in data_fds.values():
+            os.close(read_fd)
+            os.close(write_fd)
+        writers = {}
+        readers = {}
+        for wid, (to_r, to_w, from_r, from_w) in control_fds.items():
+            os.close(to_r)
+            os.close(from_w)
+            writers[wid] = _FrameWriter(to_w)
+            readers[wid] = _FrameReader(from_r)
+        try:
+            return self._supervise(writers, readers)
+        finally:
+            for writer in writers.values():
+                writer.close()
+            for reader in readers.values():
+                reader.close()
+            for process in processes:
+                process.join(timeout=5.0)
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5.0)
+
+    def _supervise(self, writers: Dict[int, _FrameWriter],
+                   readers: Dict[int, _FrameReader]) -> Dict[str, Any]:
+        interval = self.config.checkpoint_interval_ms
+        next_trigger = (self._now_ms() + interval
+                        if interval is not None else None)
+        pending: Optional[PendingCheckpoint] = None
+        finished_subtasks: set = set()
+        done: Dict[int, Dict[str, Any]] = {}
+        error: Optional[BaseException] = None
+
+        def broadcast(message: Tuple[Any, ...]) -> None:
+            for writer in writers.values():
+                if not writer.broken:
+                    writer.send(message)
+
+        def abort_pending(reason: str) -> Optional[BaseException]:
+            nonlocal pending
+            assert pending is not None
+            pending.abort(reason)
+            broadcast(("abort", pending.checkpoint_id))
+            self._checkpoints_aborted += 1
+            self._consecutive_checkpoint_failures += 1
+            pending = None
+            tolerable = (
+                self.config.tolerable_consecutive_checkpoint_failures)
+            if (tolerable is not None
+                    and self._consecutive_checkpoint_failures > tolerable):
+                self._consecutive_checkpoint_failures = 0
+                return JobFailedError(
+                    "more than %d consecutive checkpoint failures "
+                    "(latest: %s)" % (tolerable, reason))
+            return None
+
+        selector = selectors.DefaultSelector()
+        for wid, reader in readers.items():
+            selector.register(reader.fd, selectors.EVENT_READ, wid)
+        try:
+            while len(done) < self.num_workers and error is None:
+                timeout = 0.05
+                if next_trigger is not None:
+                    timeout = min(
+                        timeout, max(0.0,
+                                     (next_trigger - self._now_ms()) / 1000.0))
+                events = selector.select(timeout)
+                for key, _ in events:
+                    wid = key.data
+                    reader = readers[wid]
+                    for message in reader.read_available():
+                        kind = message[0]
+                        if kind == "ack":
+                            _, checkpoint_id, snapshot = message
+                            if (pending is not None
+                                    and pending.checkpoint_id
+                                    == checkpoint_id):
+                                pending.acknowledge(snapshot)
+                                if pending.is_complete:
+                                    completed = pending.seal(self._now_ms())
+                                    self.checkpoint_store.add(completed)
+                                    self._checkpoint_durations.append(
+                                        completed.duration_ms)
+                                    self._checkpoints_completed += 1
+                                    self._consecutive_checkpoint_failures = 0
+                                    pending = None
+                                    broadcast(("notify",
+                                               completed.checkpoint_id))
+                        elif kind == "collect":
+                            _, bucket_key, items = message
+                            self._received.setdefault(
+                                tuple(bucket_key), []).extend(items)
+                        elif kind == "task_finished":
+                            finished_subtasks.add(tuple(message[1]))
+                        elif kind == "done":
+                            done[wid] = message[1]
+                        elif kind == "failed":
+                            _, error_type, error_line, trace = message
+                            error = JobFailedError(
+                                "worker %d failed: %s\n%s"
+                                % (wid, error_line, trace))
+                    if reader.eof and wid not in done and error is None:
+                        error = JobFailedError(
+                            "worker %d exited without reporting a result"
+                            % wid)
+                for writer in writers.values():
+                    writer.flush()
+                if error is not None:
+                    break
+                now = self._now_ms()
+                if pending is not None:
+                    stragglers = pending.pending_subtasks & finished_subtasks
+                    if stragglers:
+                        error = abort_pending(
+                            "participant %s#%d finished before acknowledging"
+                            % sorted(stragglers)[0])
+                    elif done:
+                        error = abort_pending("a worker drained mid-flight")
+                    elif pending.is_expired(
+                            now, self.config.checkpoint_timeout_ms):
+                        error = abort_pending(
+                            "timed out after %d ms waiting on %r"
+                            % (self.config.checkpoint_timeout_ms,
+                               sorted(pending.pending_subtasks)))
+                    if error is not None:
+                        break
+                if (next_trigger is not None and pending is None
+                        and not done and now >= next_trigger
+                        and not (self._source_subtasks & finished_subtasks)):
+                    expected = self._all_subtasks - finished_subtasks
+                    if expected:
+                        checkpoint_id = self._next_checkpoint_id
+                        self._next_checkpoint_id += 1
+                        pending = PendingCheckpoint(checkpoint_id, expected,
+                                                    trigger_time=now)
+                        broadcast(("trigger", checkpoint_id))
+                    next_trigger = now + interval
+        finally:
+            selector.close()
+        if error is not None:
+            broadcast(("stop",))
+            for writer in writers.values():
+                writer.drain()
+            return {"ok": False, "error": error}
+        return {"ok": True, "payloads": done}
+
+    # -- result federation ---------------------------------------------------
+
+    def _finalize(self, payloads: Dict[int, Dict[str, Any]]) -> JobResult:
+        ordered = [payloads[wid] for wid in sorted(payloads)]
+        counters = merge_counter_maps(
+            [payload["counters"] for payload in ordered]
+            + [{"restarts": self.restarts, "failures": self._failures,
+                "checkpoints_aborted": self._checkpoints_aborted}])
+        gauges = merge_gauge_maps(payload["gauges"] for payload in ordered)
+        for payload in ordered:
+            self.dead_letters.extend(payload["dead_letters"])
+        self._worker_sections = [payload["report_sections"]
+                                 for payload in ordered]
+        self._registry_snapshots = [payload["registry"]
+                                    for payload in ordered
+                                    if payload["registry"] is not None]
+        result = JobResult(
+            rounds=max(payload["rounds"] for payload in ordered),
+            simulated_time_ms=max(payload["simulated_time_ms"]
+                                  for payload in ordered),
+            counters=counters,
+            checkpoints_completed=self._checkpoints_completed,
+            checkpoint_durations_ms=list(self._checkpoint_durations),
+            recoveries=self.recoveries,
+            restarts=self.restarts,
+            checkpoints_aborted=self._checkpoints_aborted,
+            dead_letters=list(self.dead_letters),
+            gauges=gauges)
+        self._last_result = result
+        for bucket_key, items in self._received.items():
+            bucket = self._parent_buckets.get(bucket_key)
+            if bucket is not None:
+                bucket.extend(items)
+        return result
+
+    def job_report(self) -> Any:
+        """One federated report over the whole fleet: worker operator
+        rows are concatenated, checkpoint statistics come from the
+        parent coordinator (it owns the store), watermark/span gauges
+        merge across workers, and per-worker registry snapshots federate
+        through :meth:`MetricsRegistry.federate`."""
+        from repro.observability import JobReport
+        from repro.observability.registry import MetricsRegistry
+        result = self._last_result
+        if result is None:
+            raise JobFailedError("job_report() requires a completed execute()")
+        operators: List[Dict[str, Any]] = []
+        for worker_sections in self._worker_sections:
+            operators.extend(worker_sections.get("operators", []))
+        operators.sort(key=lambda row: (row["operator"], row["subtask"]))
+        checkpoints: Dict[str, Any] = {
+            "completed": result.checkpoints_completed,
+            "aborted": result.checkpoints_aborted,
+        }
+        durations = result.checkpoint_durations_ms
+        if durations:
+            checkpoints["duration_ms_min"] = min(durations)
+            checkpoints["duration_ms_max"] = max(durations)
+            checkpoints["duration_ms_mean"] = sum(durations) / len(durations)
+        sections: Dict[str, Any] = {
+            "job": {
+                "rounds": result.rounds,
+                "simulated_time_ms": result.simulated_time_ms,
+                "records_emitted": result.records_emitted,
+                "recoveries": result.recoveries,
+                "restarts": result.restarts,
+                "dead_letters": len(result.dead_letters),
+                "cancelled": result.cancelled,
+                "observability": bool(self._registry_snapshots),
+                "backend": "multiprocess",
+                "workers": self.num_workers,
+            },
+            "operators": operators,
+            "checkpoints": checkpoints,
+            "cutty": _merge_cutty_sections(
+                [ws.get("cutty", {}) for ws in self._worker_sections]),
+            "workers": [
+                {"worker": index,
+                 "rounds": ws.get("job", {}).get("rounds", 0),
+                 "simulated_time_ms": ws.get("job", {}).get(
+                     "simulated_time_ms", 0),
+                 "records_emitted": ws.get("job", {}).get(
+                     "records_emitted", 0)}
+                for index, ws in enumerate(self._worker_sections)],
+        }
+        watermark_sections = [ws["watermarks"]
+                              for ws in self._worker_sections
+                              if "watermarks" in ws]
+        if watermark_sections:
+            sections["watermarks"] = {
+                name: max(section.get(name, 0)
+                          for section in watermark_sections)
+                for name in ("skew_ms", "skew_ms_max", "lag_ms", "lag_ms_max")}
+        channels: List[Dict[str, Any]] = []
+        for worker_sections in self._worker_sections:
+            channels.extend(worker_sections.get("channels", []))
+        if channels:
+            sections["channels"] = channels
+        span_sections = [ws["spans"] for ws in self._worker_sections
+                         if "spans" in ws]
+        if span_sections:
+            by_name: Dict[str, int] = {}
+            for section in span_sections:
+                for name, count in section.get("by_name", {}).items():
+                    by_name[name] = by_name.get(name, 0) + count
+            sections["spans"] = {
+                "started": sum(s.get("started", 0) for s in span_sections),
+                "dropped": sum(s.get("dropped", 0) for s in span_sections),
+                "by_name": by_name,
+            }
+        if self._registry_snapshots:
+            sections["metrics"] = MetricsRegistry.federate(
+                self._registry_snapshots)
+        return JobReport(sections)
+
+    # -- cooperative-only surfaces ------------------------------------------
+
+    def query_state(self, operator_name: str, state_name: str, key: Any,
+                    default: Any = None) -> Any:
+        raise JobFailedError(
+            "queryable state requires the cooperative backend (worker "
+            "state lives in other processes); run with "
+            "EngineConfig(backend='cooperative')")
+
+    def create_savepoint(self) -> Any:
+        raise JobFailedError(
+            "savepoints require the cooperative backend; run with "
+            "EngineConfig(backend='cooperative')")
+
+    def restore_from_savepoint(self, savepoint: Any) -> None:
+        raise JobFailedError(
+            "savepoint restore requires the cooperative backend; run "
+            "with EngineConfig(backend='cooperative')")
+
+
+def _merge_cutty_sections(sections: List[Dict[str, Any]]
+                          ) -> Dict[str, Any]:
+    """Sum per-worker Cutty sharing stats (same shape as the merge
+    across subtasks in :func:`collect_cutty_stats`)."""
+    merged: Dict[str, Dict[str, Any]] = {}
+    for section in sections:
+        for name, stats in section.items():
+            existing = merged.get(name)
+            if existing is None:
+                merged[name] = {
+                    "keys": stats["keys"],
+                    "elements": stats["elements"],
+                    "live_slices": stats["live_slices"],
+                    "queries": {query: dict(per_query) for query, per_query
+                                in stats["queries"].items()},
+                    "aggregate_ops": dict(stats["aggregate_ops"]),
+                }
+                continue
+            existing["keys"] += stats["keys"]
+            existing["elements"] += stats["elements"]
+            existing["live_slices"] += stats["live_slices"]
+            for query, per_query in stats["queries"].items():
+                bucket = existing["queries"].setdefault(
+                    query, {"results": 0, "combines": 0})
+                bucket["results"] += per_query["results"]
+                bucket["combines"] += per_query["combines"]
+            for name_, value in stats["aggregate_ops"].items():
+                existing["aggregate_ops"][name_] = (
+                    existing["aggregate_ops"].get(name_, 0) + value)
+    return merged

@@ -22,27 +22,86 @@ from repro.runtime.elements import Record
 KeySelector = Callable[[Any], Any]
 
 
-def hash_key(key: Any) -> int:
-    """Deterministic key hash.
+#: Fixed digest for ``None`` keys: an FNV-1a offset-basis variant, never
+#: produced by the value encodings below (which stay < 2**64).
+_NONE_DIGEST = 0xD2B1A4FD5E91C377
+#: Digest for NaN floats.  NaN compares unequal to everything (itself
+#: included), so no co-location constraint exists and a constant is the
+#: only run-stable choice (CPython >= 3.10 hashes NaN by object id).
+_NAN_DIGEST = 0x7FF8A11E5D00D1CE
 
-    ``hash()`` on strings is salted per interpreter run (PYTHONHASHSEED),
-    which would make job output placement non-reproducible, so strings
-    and bytes are hashed with a stable FNV-1a instead.
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_U64 = 2**64
+
+
+def _fnv1a(data: bytes) -> int:
+    value = _FNV_OFFSET
+    for byte in data:
+        value = ((value ^ byte) * _FNV_PRIME) % _U64
+    return value
+
+
+def hash_key(key: Any) -> int:
+    """Deterministic key hash, stable *across interpreter runs*.
+
+    Placement of keyed state (and therefore replay, rescale and
+    cross-worker exchange in the multiprocess backend) hangs off this
+    function, so every supported key type is encoded explicitly:
+
+    * ``str``/``bytes`` -- FNV-1a (builtin ``hash()`` is salted per run
+      via PYTHONHASHSEED);
+    * ``None`` -- a fixed digest (builtin ``hash(None)`` is
+      address-based on CPython < 3.12 and changes across runs);
+    * ``bool``/``int``/``float`` -- an integer encoding that respects
+      Python's cross-type equality (``True == 1 == 1.0`` must co-locate
+      because they are the same dict key), never builtin ``hash()``;
+    * ``tuple`` -- combined recursively from its parts.
+
+    Objects whose type inherits ``object.__hash__`` hash by memory
+    address -- unstable across runs by construction -- so they are
+    rejected with a ``TypeError`` naming the type, rather than silently
+    breaking reproducibility.  Other custom ``__hash__``
+    implementations are trusted as a documented escape hatch (they must
+    be run-stable, e.g. derived from the encodings above).
     """
+    if key is None:
+        return _NONE_DIGEST
     if isinstance(key, str):
-        key = key.encode("utf-8")
+        return _fnv1a(key.encode("utf-8"))
     if isinstance(key, bytes):
-        value = 0xCBF29CE484222325
-        for byte in key:
-            value = ((value ^ byte) * 0x100000001B3) % (2**64)
-        return value
+        return _fnv1a(key)
+    if isinstance(key, (bool, int)):
+        # bool is an int subclass; int(True) == 1 keeps True/1 together.
+        return int(key) % _U64
+    if isinstance(key, float):
+        if key != key:  # NaN
+            return _NAN_DIGEST
+        if key in (float("inf"), float("-inf")):
+            return _fnv1a(_float_pack(key))
+        if key.is_integer():
+            # 2.0 == 2 (and -0.0 == 0) must land on the same channel.
+            return int(key) % _U64
+        return _fnv1a(_float_pack(key))
     if isinstance(key, tuple):
         value = 0x345678
         for part in key:
             value = (value * 1000003) ^ hash_key(part)
-            value %= 2**64
+            value %= _U64
         return value
+    if getattr(type(key), "__hash__", None) in (None, object.__hash__):
+        raise TypeError(
+            "cannot hash-partition key of type %r: its hash is "
+            "identity-based (or undefined) and changes across interpreter "
+            "runs, which would break deterministic placement; use a value "
+            "type (str, bytes, int, float, bool, None, tuple) or define a "
+            "run-stable __hash__" % type(key).__name__)
     return hash(key)
+
+
+def _float_pack(value: float) -> bytes:
+    import struct
+    return struct.pack("<d", value)
 
 
 class Partitioner:
@@ -59,6 +118,21 @@ class Partitioner:
         """Pointwise partitioners connect subtask i only to subtask i and
         therefore permit operator chaining."""
         return False
+
+    def clone(self) -> "Partitioner":
+        """A per-subtask instance.  Stateless partitioners are shared
+        (return ``self``); stateful ones (rebalance) return a fresh copy
+        so each upstream subtask owns -- and checkpoints -- its own
+        routing state."""
+        return self
+
+    def snapshot_state(self) -> Optional[Any]:
+        """Routing state to include in the owning task's checkpoint
+        snapshot, or ``None`` for stateless partitioners."""
+        return None
+
+    def restore_state(self, state: Any) -> None:
+        """Restore routing state captured by :meth:`snapshot_state`."""
 
     def __repr__(self) -> str:
         return "%s()" % type(self).__name__
@@ -97,12 +171,28 @@ class HashPartitioner(Partitioner):
 
 
 class RebalancePartitioner(Partitioner):
-    """Round-robin; stateful per upstream subtask."""
+    """Round-robin; stateful per upstream subtask.
+
+    The cursor is part of the exactly-once cut: it is captured in task
+    snapshots and restored on recovery, so post-restore round-robin
+    placement replays the original run's routing instead of resuming
+    from the crash-time cursor (which would diverge on rebalance edges
+    feeding stateful operators).
+    """
 
     name = "rebalance"
 
     def __init__(self) -> None:
         self._next = 0
+
+    def clone(self) -> "RebalancePartitioner":
+        return RebalancePartitioner()
+
+    def snapshot_state(self) -> Optional[Any]:
+        return {"next": self._next}
+
+    def restore_state(self, state: Any) -> None:
+        self._next = state["next"]
 
     def select(self, record: Record, num_channels: int,
                subtask_index: int) -> Sequence[int]:

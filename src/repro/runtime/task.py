@@ -789,6 +789,11 @@ class Task:
         # their transaction here, at the exact barrier cut.
         for chained in self.chain:
             chained.operator.on_checkpoint(checkpoint_id)
+        partitioners = {}
+        for i, edge in enumerate(self.output_edges):
+            state = edge.partitioner.snapshot_state()
+            if state is not None:
+                partitioners[str(i)] = state
         snapshot = TaskSnapshot(
             self.subtask_id,
             keyed_state={str(i): chained.backend.snapshot()
@@ -797,6 +802,7 @@ class Task:
                             for i, chained in enumerate(self.chain)},
             timers={str(i): chained.timers.snapshot()
                     for i, chained in enumerate(self.chain)},
+            partitioners=partitioners,
         )
         if self.checkpoint_ack is not None:
             self.checkpoint_ack(checkpoint_id, snapshot)
@@ -809,6 +815,10 @@ class Task:
             if operator_state is not None:
                 chained.operator.restore_state(operator_state)
             chained.timers.restore(snapshot.timers.get(str(i), {}))
+        for i, edge in enumerate(self.output_edges):
+            state = snapshot.partitioners.get(str(i))
+            if state is not None:
+                edge.partitioner.restore_state(state)
 
     def reset_progress(self) -> None:
         """Clear watermark/barrier progress on recovery (channels are

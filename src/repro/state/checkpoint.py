@@ -23,14 +23,21 @@ SubtaskId = Tuple[str, int]  # (operator id, subtask index)
 class TaskSnapshot:
     """Everything one subtask contributes to a checkpoint."""
 
-    __slots__ = ("subtask", "keyed_state", "operator_state", "timers")
+    __slots__ = ("subtask", "keyed_state", "operator_state", "timers",
+                 "partitioners")
 
     def __init__(self, subtask: SubtaskId, keyed_state: Dict[str, Dict[Any, Any]],
-                 operator_state: Any = None, timers: Optional[dict] = None) -> None:
+                 operator_state: Any = None, timers: Optional[dict] = None,
+                 partitioners: Optional[Dict[str, Any]] = None) -> None:
         self.subtask = subtask
         self.keyed_state = keyed_state
         self.operator_state = operator_state
         self.timers = timers or {}
+        #: Routing state of stateful output partitioners (rebalance
+        #: cursors), keyed by output-edge position -- part of the
+        #: consistent cut so post-restore round-robin placement replays
+        #: the original run.
+        self.partitioners = partitioners or {}
 
     def __repr__(self) -> str:
         return "TaskSnapshot(%s#%d)" % self.subtask

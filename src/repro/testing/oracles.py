@@ -302,10 +302,19 @@ class _ValueProjectingAggregate:
         return self.inner.get_result(accumulator)
 
 
-def _watermarked(env, elements: List[tuple], bound: int):
+def _watermarked(env, elements: List[tuple], bound: int,
+                 rebalance: bool = False):
     strategy = WatermarkStrategy.for_bounded_out_of_orderness(
         lambda element: element[2], bound)
-    return (env.from_collection(elements)
+    stream = env.from_collection(elements)
+    if rebalance:
+        # Round-robin exchange ahead of the stateful watermark operator:
+        # exercises the RebalancePartitioner cursor in the checkpoint
+        # cut.  If the cursor were not restored, replayed records would
+        # route to different subtasks than the original run and the
+        # per-subtask watermark state would disagree with the replay.
+        stream = stream.rebalance()
+    return (stream
             .assign_timestamps_and_watermarks(strategy)
             .key_by(lambda element: element[0]))
 
@@ -323,11 +332,13 @@ def run_streaming_windows(elements: List[tuple],
                           aggregate_name: str, ooo_bound: int,
                           parallelism: int = 2,
                           config: Optional[EngineConfig] = None,
+                          rebalance: bool = False,
                           ) -> Tuple[Dict[Tuple[Any, int, int], Any], Any]:
     """One streaming window job; returns (results dict, JobResult)."""
     env = Environment(parallelism=parallelism,
                                      config=config or EngineConfig())
-    collected = (_watermarked(env, elements, ooo_bound + 2)
+    collected = (_watermarked(env, elements, ooo_bound + 2,
+                              rebalance=rebalance)
                  .window(make_assigner(assigner_params))
                  .aggregate(_ValueProjectingAggregate(
                      make_aggregate(aggregate_name)))
@@ -485,17 +496,22 @@ class ReplayOracle(Oracle):
             "ooo_bound": profile.ooo_bound,
             "parallelism": rng.choice([1, 2]),
             "crash_fraction": rng.choice([0.25, 0.5, 0.75]),
+            # Half the cases route through a round-robin exchange so the
+            # RebalancePartitioner cursor is part of the replayed cut.
+            "rebalance": rng.choice([False, True]),
         }
         return Case(self.name, root_seed, index, params,
                     generate_elements(rng, profile))
 
     def check(self, case: Case) -> Optional[str]:
         params = case.params
+        rebalance = params.get("rebalance", False)
         clean_config = EngineConfig(checkpoint_interval_ms=5,
                                     elements_per_step=4)
         clean, clean_job = run_streaming_windows(
             list(case.stream), params["assigner"], params["aggregate"],
-            params["ooo_bound"], params["parallelism"], clean_config)
+            params["ooo_bound"], params["parallelism"], clean_config,
+            rebalance=rebalance)
 
         at_round = max(5, int(clean_job.rounds * params["crash_fraction"]))
         hook = make_crash_once_hook(min_checkpoints=1, at_round=at_round)
@@ -504,7 +520,8 @@ class ReplayOracle(Oracle):
                                     failure_hook=hook)
         replayed, _ = run_streaming_windows(
             list(case.stream), params["assigner"], params["aggregate"],
-            params["ooo_bound"], params["parallelism"], crash_config)
+            params["ooo_bound"], params["parallelism"], crash_config,
+            rebalance=rebalance)
 
         clean_set = set(clean.items())
         replay_set = set(replayed.items())

@@ -1,5 +1,12 @@
 """Unit tests for partitioners and the stable key hash."""
 
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
 from repro.runtime.elements import Record
 from repro.runtime.partition import (
     BroadcastPartitioner,
@@ -26,6 +33,94 @@ class TestHashKey:
 
     def test_integers_pass_through(self):
         assert hash_key(7) == hash(7)
+
+    def test_numeric_equality_co_locates(self):
+        # True == 1 == 1.0 are one dict key; keyed state placement must
+        # agree with Python equality or rescaled state would split.
+        assert hash_key(True) == hash_key(1) == hash_key(1.0)
+        assert hash_key(False) == hash_key(0) == hash_key(-0.0)
+        assert hash_key(2.0) == hash_key(2)
+        assert hash_key(-3) == hash_key(-3.0)
+
+    def test_nan_and_none_are_fixed(self):
+        assert hash_key(float("nan")) == hash_key(float("nan"))
+        assert hash_key(None) == hash_key(None)
+        assert hash_key(None) != hash_key(float("nan"))
+
+    def test_identity_hashed_objects_rejected(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError, match="Opaque"):
+            hash_key(Opaque())
+        with pytest.raises(TypeError, match="object"):
+            hash_key(object())
+
+    def test_custom_stable_hash_is_trusted(self):
+        class StableKey:
+            def __init__(self, name):
+                self.name = name
+
+            def __hash__(self):
+                return hash_key(self.name)
+
+            def __eq__(self, other):
+                return self.name == other.name
+
+        # Trusted (no TypeError) and deterministic across instances;
+        # builtin hash() may fold the digest, so only stability holds.
+        assert hash_key(StableKey("a")) == hash_key(StableKey("a"))
+        assert hash_key(StableKey("a")) != hash_key(StableKey("b"))
+
+
+#: Key battery evaluated inside each child interpreter: every supported
+#: encoding branch (None, str incl. non-ASCII, bytes, bool, small and
+#: >64-bit ints, integral/fractional/signed-zero/inf/NaN floats, nested
+#: tuples).  Kept as source text so both subprocesses build identical
+#: values without pickling anything between them.
+_KEY_BATTERY_SRC = """[
+    None, "", "user-42", "h\\u00e9llo w\\u00f6rld", "a" * 300,
+    b"", b"\\x00\\xff\\x7f", 0, 1, -1, 7, -7, 2**63, 2**80, -(2**80),
+    True, False, 0.0, -0.0, 2.0, -3.0, 3.14159, -2.71828,
+    float("inf"), float("-inf"), float("nan"),
+    (), ("a", 1), ("a", 2), (("nested", 2.0), None, b"x"),
+]"""
+
+
+def _hash_battery_in_subprocess(hashseed):
+    """Run ``hash_key`` over the battery in a fresh interpreter whose
+    builtin ``hash`` is salted with ``hashseed``."""
+    script = (
+        "import json, sys\n"
+        "from repro.runtime.partition import hash_key\n"
+        "keys = " + _KEY_BATTERY_SRC + "\n"
+        "print(json.dumps([hash_key(k) for k in keys]))\n")
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    repo_src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run([sys.executable, "-c", script], env=env,
+                          capture_output=True, text=True, timeout=60)
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+class TestHashKeyCrossInterpreter:
+    """The regression this PR exists for: digests must not depend on the
+    interpreter's per-run hash salt (PYTHONHASHSEED), or keyed state
+    lands on different subtasks after every restart and the multiprocess
+    workers disagree with each other about routing."""
+
+    def test_digests_identical_across_interpreter_runs(self):
+        first = _hash_battery_in_subprocess("0")
+        second = _hash_battery_in_subprocess("12345")
+        assert first == second
+
+    def test_parent_process_agrees_with_children(self):
+        keys = eval(_KEY_BATTERY_SRC)  # same literal the children use
+        local = [hash_key(k) for k in keys]
+        assert local == _hash_battery_in_subprocess("99")
 
 
 class TestForward:
@@ -62,6 +157,31 @@ class TestRebalance:
         partitioner = RebalancePartitioner()
         selections = [partitioner.select(Record(i), 3, 0)[0] for i in range(6)]
         assert selections == [0, 1, 2, 0, 1, 2]
+
+    def test_clone_is_independent(self):
+        partitioner = RebalancePartitioner()
+        partitioner.select(Record(0), 3, 0)
+        clone = partitioner.clone()
+        assert clone is not partitioner
+        assert clone.select(Record(0), 3, 0) == (0,)
+
+    def test_cursor_snapshot_and_restore(self):
+        partitioner = RebalancePartitioner()
+        for i in range(5):
+            partitioner.select(Record(i), 3, 0)
+        state = partitioner.snapshot_state()
+        assert state == {"next": 5}
+        # A few more selections after the cut, then roll back.
+        partitioner.select(Record(9), 3, 0)
+        fresh = RebalancePartitioner()
+        fresh.restore_state(state)
+        assert fresh.select(Record(0), 3, 0) == (5 % 3,)
+
+    def test_advance_reserves_batch_slots(self):
+        partitioner = RebalancePartitioner()
+        cursor = partitioner.advance(4)
+        assert cursor == 0
+        assert partitioner.select(Record(0), 3, 0) == (4 % 3,)
 
 
 class TestBroadcast:
