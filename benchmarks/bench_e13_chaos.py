@@ -83,6 +83,76 @@ def chaos_sweep():
     return baseline_job.rounds, table
 
 
+# -- OS-level chaos battery (multiprocess backend) ---------------------------
+
+MP_RECORDS = 1_200
+#: Keys chosen so each key's records originate from one source subtask
+#: (from_collection deals index % parallelism): per-key running totals
+#: are then deterministic and the sink comparison can be exact.
+MP_KEYS = 14
+
+
+def _mp_throttle(value):
+    # Sleeps on both value parities so both source subtasks stay live
+    # long enough for checkpoints to trigger (triggering stops once any
+    # source finishes).
+    import time as _time
+    if value % 4 < 2:
+        _time.sleep(0.002)
+    return value
+
+
+def _run_mp_chaos_job(config, target):
+    from repro.api import Environment
+    from repro.connectors import TransactionalTextFileSink
+
+    env = Environment(parallelism=2, config=config)
+    (env.from_collection(range(MP_RECORDS))
+        .map(_mp_throttle, name="throttle")
+        .key_by(lambda v: v % MP_KEYS)
+        .fold(0, lambda acc, value: acc + value)
+        .add_sink(TransactionalTextFileSink(
+            target, formatter=lambda pair: "%d:%d" % pair)))
+    job = env.execute()
+    with open(target) as handle:
+        return sorted(line.rstrip("\n") for line in handle), job
+
+
+def run_process_chaos_battery(seeds, workdir):
+    """The acceptance battery: for every seed, a randomized
+    SIGKILL/SIGSTOP schedule against the multiprocess fleet with durable
+    checkpoints and a 2PC sink -- output must equal the unfaulted
+    cooperative run exactly."""
+    import os
+
+    from repro.runtime.faults import ProcessChaosInjector
+
+    oracle, _ = _run_mp_chaos_job(EngineConfig(),
+                                  os.path.join(workdir, "oracle.txt"))
+    rows = []
+    failures = 0
+    for seed in seeds:
+        chaos = ProcessChaosInjector.from_seed(seed, num_faults=2,
+                                               first_ms=150, last_ms=550)
+        config = EngineConfig(
+            backend="multiprocess", num_workers=2,
+            checkpoint_interval_ms=40,
+            checkpoint_dir=os.path.join(workdir, "chk-%d" % seed),
+            heartbeat_interval_ms=20,
+            watchdog_suspect_ms=250, watchdog_fail_ms=1200,
+            restart_strategy=FixedDelayRestart(max_restarts=10, delay_ms=0),
+            process_chaos=chaos)
+        lines, job = _run_mp_chaos_job(
+            config, os.path.join(workdir, "out-%d.txt" % seed))
+        exact = lines == oracle
+        failures += 0 if exact else 1
+        rows.append([seed,
+                     " ".join("%s@%dms" % (event.kind, at)
+                              for at, event, _ in chaos.applied) or "none",
+                     job.restarts, "ok" if exact else "DIVERGED"])
+    return rows, failures
+
+
 def test_e13_chaos_overhead(benchmark):
     baseline_rounds, table = benchmark.pedantic(chaos_sweep,
                                                 iterations=1, rounds=1)
@@ -102,3 +172,54 @@ def test_e13_chaos_overhead(benchmark):
     # Each recovery replays from the latest checkpoint: more crashes,
     # more replayed rounds.
     assert three >= one
+
+
+def main(argv=None):
+    """CLI gate: ``python benchmarks/bench_e13_chaos.py --backend
+    multiprocess --seeds 20`` runs the seeded OS-fault battery (SIGKILL/
+    SIGSTOP against real worker processes, durable checkpoints, 2PC
+    sink) and fails unless every seed converges to the unfaulted output
+    exactly."""
+    import argparse
+    import multiprocessing
+    import sys
+    import tempfile
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", default="multiprocess",
+                        choices=("cooperative", "multiprocess"))
+    parser.add_argument("--seeds", type=int, default=20,
+                        help="number of chaos seeds to sweep (1..N)")
+    args = parser.parse_args(argv)
+
+    if args.backend == "cooperative":
+        baseline_rounds, table = chaos_sweep()
+        print(format_table(
+            ["scenario", "rounds", "restarts", "recoveries"],
+            [[name, rounds, restarts, recoveries]
+             for name, (rounds, restarts, recoveries) in table.items()],
+            title="E13: modelled chaos, cooperative backend"))
+        return 0
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        print("SKIP: multiprocess backend requires the fork start method")
+        return 0
+    with tempfile.TemporaryDirectory(prefix="e13-chaos-") as workdir:
+        rows, failures = run_process_chaos_battery(
+            range(1, args.seeds + 1), workdir)
+    print(format_table(
+        ["seed", "faults fired", "restarts", "parity"], rows,
+        title="E13: OS-level chaos battery, multiprocess backend, "
+              "%d seeds" % args.seeds))
+    if failures:
+        print("FAIL: %d of %d seeds diverged from the unfaulted run"
+              % (failures, args.seeds))
+        return 1
+    print("ok: %d seeds, all byte-identical to the unfaulted run"
+          % args.seeds)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

@@ -130,6 +130,10 @@ class TransactionalSink:
         self._buffer: List[str] = []
         self._pending: Dict[int, List[str]] = {}
         self._committed: List[str] = []
+        #: Highest committed transaction id, mirrored in the meta
+        #: sidecar so a respawned sink can reconcile a commit that
+        #: crashed midway (see :meth:`resume`).
+        self._committed_through = 0
         self.transactions_committed = 0
         self.transactions_aborted = 0
 
@@ -149,7 +153,9 @@ class TransactionalSink:
         self._buffer = []
         self._pending = {}
         self._committed = []
-        for stale in ([self.path, self.path + ".tmp"]
+        self._committed_through = 0
+        for stale in ([self.path, self.path + ".tmp", self._meta_path(),
+                       self._meta_path() + ".tmp"]
                       + glob.glob(glob.escape(self.path) + ".pending-*")):
             if os.path.exists(stale):
                 os.remove(stale)
@@ -164,19 +170,42 @@ class TransactionalSink:
         target file and pre-committed transactions from their side
         files; :meth:`recover` then reconciles them against what the
         restored checkpoint recorded as pending, exactly as it would
-        have against the live object's memory."""
+        have against the live object's memory.
+
+        The meta sidecar closes the two crash windows inside a commit:
+
+        * died after meta was written but before the target was
+          published -- the target holds fewer records than meta says, so
+          the side files at or below ``committed_through`` are re-applied
+          (their records would otherwise be lost);
+        * died after publishing but before the side files were deleted
+          -- those side files describe *already committed* transactions
+          and are deleted here, never offered as pending (re-committing
+          them would double every record in the window).
+        """
         self._buffer = []
         self._committed = []
         if os.path.exists(self.path):
             with open(self.path, "r", encoding="utf-8") as handle:
                 lines = [line.rstrip("\n") for line in handle]
             self._committed = lines[len(self._header_lines()):]
-        self._pending = {}
+        sides: Dict[int, List[str]] = {}
         for side in glob.glob(glob.escape(self.path) + ".pending-*"):
             txn_id = int(side.rsplit("-", 1)[1])
             with open(side, "r", encoding="utf-8") as handle:
-                self._pending[txn_id] = [line.rstrip("\n")
-                                         for line in handle]
+                sides[txn_id] = [line.rstrip("\n") for line in handle]
+        meta = self._load_meta()
+        self._committed_through = meta.get("committed_through", 0)
+        committed_sides = sorted(txn for txn in sides
+                                 if txn <= self._committed_through)
+        if len(self._committed) < meta.get("records", 0):
+            for txn in committed_sides:
+                self._committed.extend(sides[txn])
+            self._publish()
+        for txn in committed_sides:
+            self._remove_pending_file(txn)
+            del sides[txn]
+        self._pending = sides
 
     def write(self, value: Any) -> None:
         self._buffer.append(self._format(value))
@@ -199,9 +228,16 @@ class TransactionalSink:
             return
         for txn in due:
             self._committed.extend(self._pending.pop(txn))
-            self._remove_pending_file(txn)
             self.transactions_committed += 1
+        self._committed_through = max(self._committed_through, due[-1])
+        # Commit ordering is load-bearing: meta first (intent + expected
+        # record count), then the target, then the side files.  A crash
+        # at any point between the three steps is reconciled by
+        # ``resume`` without losing or doubling a record.
+        self._write_meta()
         self._publish()
+        for txn in due:
+            self._remove_pending_file(txn)
 
     def abort(self, txn_id: int) -> None:
         if txn_id in self._pending:
@@ -234,6 +270,7 @@ class TransactionalSink:
         if self._buffer:
             self._committed.extend(self._buffer)
             self._buffer = []
+            self._write_meta()
             self._publish()
 
     # -- inspection ------------------------------------------------------
@@ -246,6 +283,21 @@ class TransactionalSink:
 
     def _pending_path(self, txn_id: int) -> str:
         return "%s.pending-%d" % (self.path, txn_id)
+
+    def _meta_path(self) -> str:
+        return self.path + ".txn-meta.json"
+
+    def _write_meta(self) -> None:
+        _replace_atomically(self._meta_path(), lambda handle: json.dump(
+            {"committed_through": self._committed_through,
+             "records": len(self._committed)}, handle))
+
+    def _load_meta(self) -> Dict[str, int]:
+        try:
+            with open(self._meta_path(), "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return {}
 
     def _remove_pending_file(self, txn_id: int) -> None:
         pending = self._pending_path(txn_id)

@@ -101,7 +101,12 @@ class EngineConfig:
                  operator_profiling: bool = False,
                  tick_ms: int = 1,
                  checkpoint_interval_ms: Optional[int] = None,
+                 checkpoint_dir: Optional[str] = None,
                  max_retained_checkpoints: int = 3,
+                 heartbeat_interval_ms: Optional[int] = 25,
+                 watchdog_suspect_ms: Optional[int] = None,
+                 watchdog_fail_ms: Optional[int] = None,
+                 process_chaos: Optional[Any] = None,
                  max_rounds: int = 50_000_000,
                  failure_hook: Optional[Callable[["Engine", int], bool]] = None,
                  cancel_hook: Optional[Callable[["Engine", int], bool]] = None,
@@ -129,8 +134,15 @@ class EngineConfig:
                 raise ValueError(
                     "%s require the cooperative backend (they reach into "
                     "the single-process scheduler); the multiprocess "
-                    "backend injects faults through quarantine and "
-                    "supervised restarts instead" % ", ".join(unsupported))
+                    "backend injects OS-level faults through "
+                    "process_chaos=ProcessChaosInjector(...) instead"
+                    % ", ".join(unsupported))
+        if process_chaos is not None and backend != "multiprocess":
+            raise ValueError(
+                "process_chaos injects OS-level faults (SIGKILL/SIGSTOP, "
+                "pipe and checkpoint-file corruption) and requires "
+                "backend='multiprocess'; the cooperative backend takes "
+                "chaos=ChaosInjector(...) instead")
         if channel_capacity < 1:
             raise ValueError("channel_capacity must be >= 1")
         if elements_per_step < 1:
@@ -145,6 +157,18 @@ class EngineConfig:
             raise ValueError("checkpoint_interval_ms must be positive")
         if checkpoint_timeout_ms is not None and checkpoint_timeout_ms <= 0:
             raise ValueError("checkpoint_timeout_ms must be positive")
+        if heartbeat_interval_ms is not None and heartbeat_interval_ms <= 0:
+            raise ValueError(
+                "heartbeat_interval_ms must be positive (None disables "
+                "heartbeats and the watchdog)")
+        if watchdog_suspect_ms is not None and watchdog_suspect_ms <= 0:
+            raise ValueError("watchdog_suspect_ms must be positive")
+        if watchdog_fail_ms is not None and watchdog_fail_ms <= 0:
+            raise ValueError("watchdog_fail_ms must be positive")
+        if (watchdog_suspect_ms is not None and watchdog_fail_ms is not None
+                and watchdog_fail_ms < watchdog_suspect_ms):
+            raise ValueError(
+                "watchdog_fail_ms must be >= watchdog_suspect_ms")
         if (tolerable_consecutive_checkpoint_failures is not None
                 and tolerable_consecutive_checkpoint_failures < 0):
             raise ValueError(
@@ -170,7 +194,30 @@ class EngineConfig:
         self.operator_profiling = operator_profiling
         self.tick_ms = tick_ms
         self.checkpoint_interval_ms = checkpoint_interval_ms
+        #: When set, the multiprocess coordinator persists every sealed
+        #: checkpoint under this directory as CRC-checksummed snapshot
+        #: files plus a manifest, and recovery restores from *disk* with
+        #: verification -- a corrupted or torn checkpoint falls back to
+        #: the next-oldest retained one (see :mod:`repro.state.durable`).
+        #: ``None`` keeps checkpoints in coordinator memory only.
+        self.checkpoint_dir = checkpoint_dir
         self.max_retained_checkpoints = max_retained_checkpoints
+        #: Wall-clock cadence of worker liveness heartbeats on the
+        #: multiprocess backend (sent over the control pipe with seeded
+        #: jitter).  ``None`` disables heartbeats and the watchdog.
+        self.heartbeat_interval_ms = heartbeat_interval_ms
+        #: Quiet time after which the coordinator's watchdog moves a
+        #: worker RUNNING -> SUSPECTED; default (``None``) is 8x the
+        #: heartbeat interval.
+        self.watchdog_suspect_ms = watchdog_suspect_ms
+        #: Quiet time after which a SUSPECTED worker is declared FAILED
+        #: and handed to the restart strategy -- this is what catches
+        #: *hung* (SIGSTOP'd, wedged) workers that never close a pipe;
+        #: default (``None``) is 24x the heartbeat interval.
+        self.watchdog_fail_ms = watchdog_fail_ms
+        #: OS-level fault injection for the multiprocess backend (see
+        #: :class:`~repro.runtime.faults.ProcessChaosInjector`).
+        self.process_chaos = process_chaos
         self.max_rounds = max_rounds
         self.failure_hook = failure_hook
         self.cancel_hook = cancel_hook

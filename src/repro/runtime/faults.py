@@ -226,3 +226,122 @@ class ChaosInjector:
     def __repr__(self) -> str:
         return ("ChaosInjector(pending=%d, applied=%d, stalls=%d)"
                 % (len(self.schedule), len(self.applied), len(self._stalls)))
+
+
+# -- OS-level chaos (multiprocess backend) ----------------------------------
+
+KILL_WORKER = "kill-worker"
+STOP_WORKER = "stop-worker"
+GARBLE_FRAME = "garble-frame"
+CORRUPT_CHECKPOINT = "corrupt-checkpoint"
+
+PROCESS_FAULT_KINDS = (KILL_WORKER, STOP_WORKER, GARBLE_FRAME,
+                       CORRUPT_CHECKPOINT)
+
+
+class ProcessFaultEvent:
+    """One scheduled OS-level fault, firing at coordinator time
+    ``at_ms`` (engine-relative milliseconds).  ``target`` picks the
+    victim worker modulo the live fleet at fire time."""
+
+    __slots__ = ("at_ms", "kind", "target")
+
+    def __init__(self, at_ms: int, kind: str, target: int = 0) -> None:
+        if at_ms < 0:
+            raise ValueError("fault time must be >= 0 ms")
+        if kind not in PROCESS_FAULT_KINDS:
+            raise ValueError("unknown process fault kind %r" % kind)
+        self.at_ms = at_ms
+        self.kind = kind
+        self.target = target
+
+    def __repr__(self) -> str:
+        return ("ProcessFaultEvent(at_ms=%d, %s, target=%d)"
+                % (self.at_ms, self.kind, self.target))
+
+
+def random_process_fault_schedule(
+        seed: int, num_faults: int = 2, first_ms: int = 50,
+        last_ms: int = 1500,
+        kinds: Tuple[str, ...] = (KILL_WORKER, STOP_WORKER),
+) -> List[ProcessFaultEvent]:
+    """A deterministic randomized OS-fault schedule for chaos sweeps."""
+    if num_faults < 1:
+        raise ValueError("num_faults must be >= 1")
+    if last_ms < first_ms:
+        raise ValueError("last_ms must be >= first_ms")
+    rng = random.Random(seed)
+    events = [ProcessFaultEvent(rng.randint(first_ms, last_ms),
+                                rng.choice(list(kinds)),
+                                target=rng.randrange(1 << 16))
+              for _ in range(num_faults)]
+    events.sort(key=lambda event: event.at_ms)
+    return events
+
+
+class ProcessChaosInjector:
+    """OS-level chaos for the multiprocess backend.
+
+    Where :class:`ChaosInjector` reaches into a cooperative engine's
+    data structures, this one only touches the operating system: SIGKILL
+    and SIGSTOP against worker processes, raw garbage bytes on a control
+    pipe, a byte flipped in a persisted checkpoint file.  The
+    coordinator calls :meth:`on_tick` from its supervision loop with a
+    :class:`~repro.runtime.multiprocess._FleetView`; each due event
+    fires exactly once per job (not per attempt -- a respawned fleet
+    must be allowed to finish, or the parity battery could never
+    converge).
+
+    ``corrupt-checkpoint`` waits until a durable checkpoint actually
+    exists, so a schedule can pair it with a later kill and assert that
+    recovery detects the corruption and falls back.
+    """
+
+    def __init__(self, schedule: List[ProcessFaultEvent],
+                 seed: int = 0) -> None:
+        self.schedule = sorted(schedule, key=lambda event: event.at_ms)
+        self.applied: List[Tuple[int, ProcessFaultEvent, Any]] = []
+        self._rng = random.Random(seed ^ 0x5EED)
+
+    @classmethod
+    def from_seed(cls, seed: int, **kwargs: Any) -> "ProcessChaosInjector":
+        return cls(random_process_fault_schedule(seed, **kwargs), seed=seed)
+
+    def on_tick(self, fleet: Any) -> None:
+        """Fire every due event against the live fleet; events that find
+        no victim yet (empty fleet, no durable checkpoint) retry on the
+        next tick."""
+        import signal
+        now = fleet.now_ms
+        while self.schedule and self.schedule[0].at_ms <= now:
+            event = self.schedule[0]
+            outcome: Any = None
+            if event.kind in (KILL_WORKER, STOP_WORKER):
+                alive = fleet.alive_workers()
+                if not alive:
+                    return  # fleet draining/respawning; retry next tick
+                victim = alive[event.target % len(alive)]
+                sig = (signal.SIGKILL if event.kind == KILL_WORKER
+                       else signal.SIGSTOP)
+                if not fleet.signal_worker(victim, sig):
+                    return
+                outcome = victim
+            elif event.kind == GARBLE_FRAME:
+                alive = fleet.alive_workers()
+                if not alive:
+                    return
+                victim = alive[event.target % len(alive)]
+                if not fleet.garble_control_frame(victim):
+                    return
+                outcome = victim
+            elif event.kind == CORRUPT_CHECKPOINT:
+                path = fleet.corrupt_retained_checkpoint(self._rng)
+                if path is None:
+                    return  # nothing durable yet: retry until one lands
+                outcome = path
+            self.schedule.pop(0)
+            self.applied.append((now, event, outcome))
+
+    def __repr__(self) -> str:
+        return ("ProcessChaosInjector(pending=%d, applied=%d)"
+                % (len(self.schedule), len(self.applied)))

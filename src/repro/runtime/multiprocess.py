@@ -73,12 +73,14 @@ from repro.runtime.engine import (
 )
 from repro.runtime.operators import CollectSink
 from repro.runtime.task import Task
+from repro.runtime.watchdog import FAILED, WorkerWatchdog
 from repro.state.checkpoint import (
     CheckpointStore,
     PendingCheckpoint,
     SubtaskId,
     TaskSnapshot,
 )
+from repro.state.durable import DurableCheckpointStore
 
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 _LEN = struct.Struct("<I")
@@ -91,10 +93,28 @@ _EGRESS_SOFT_LIMIT = 4 * 1024 * 1024
 #: rounds; a worker must also account for time spent blocked on pipes).
 _STALL_TIMEOUT_S = 60.0
 _IDLE_WAIT_S = 0.02
+#: Sanity cap on a frame's length prefix.  A garbled prefix otherwise
+#: reads as "wait for gigabytes that will never arrive", which turns a
+#: corrupted pipe into an undiagnosable hang instead of a FrameError.
+_MAX_FRAME = 1 << 28
+#: How long the coordinator keeps trying to flush stop messages to a
+#: failing fleet before giving up -- it must NOT block forever on a pipe
+#: whose reader is SIGSTOP'd (the workers get killed right after).
+_ERROR_FLUSH_S = 0.25
+#: Default watchdog deadlines, as multiples of the heartbeat interval.
+_SUSPECT_INTERVALS = 8
+_FAIL_INTERVALS = 24
 
 
 class _Stop(Exception):
     """Parent asked this worker to exit (failure elsewhere)."""
+
+
+class FrameError(Exception):
+    """A length-prefixed pipe frame could not be decoded: the peer died
+    mid-write (truncated frame) or the bytes are garbage (corrupted
+    length prefix, unpicklable payload).  The message names the worker
+    pair so the supervisor's diagnosis points at the right pipe."""
 
 
 # -- pipe framing -----------------------------------------------------------
@@ -173,13 +193,26 @@ class _FrameWriter:
 
 class _FrameReader:
     """The receiving half: drains a non-blocking pipe and reassembles
-    length-prefixed pickle frames."""
+    length-prefixed pickle frames.
 
-    def __init__(self, fd: int) -> None:
+    Corruption is loud: an insane length prefix, an unpicklable payload,
+    or a partial frame left behind by a peer that died mid-write all
+    raise :class:`FrameError` naming ``peer`` -- never silently block
+    waiting for bytes that can no longer arrive.
+    """
+
+    def __init__(self, fd: int, peer: str = "pipe") -> None:
         os.set_blocking(fd, False)
         self.fd = fd
+        self.peer = peer
         self._buffer = bytearray()
         self.eof = False
+        self.corrupt = False
+
+    def _fail(self, offset: int, detail: str) -> None:
+        del self._buffer[:offset]
+        self.corrupt = True
+        raise FrameError("%s: %s" % (self.peer, detail))
 
     def read_available(self) -> List[Any]:
         while not self.eof:
@@ -199,11 +232,28 @@ class _FrameReader:
         offset = 0
         while len(buffer) - offset >= _LEN.size:
             (length,) = _LEN.unpack_from(buffer, offset)
+            if length > _MAX_FRAME:
+                self._fail(offset,
+                           "garbled frame (length prefix %d exceeds the "
+                           "%d-byte cap)" % (length, _MAX_FRAME))
             if len(buffer) - offset - _LEN.size < length:
                 break
             start = offset + _LEN.size
-            messages.append(pickle.loads(bytes(buffer[start:start + length])))
+            try:
+                message = pickle.loads(bytes(buffer[start:start + length]))
+            except Exception as exc:
+                self._fail(offset,
+                           "garbled frame (%d-byte payload does not "
+                           "unpickle: %r)" % (length, exc))
+            messages.append(message)
             offset = start + length
+        if self.eof and len(buffer) - offset > 0:
+            # The writer is gone and the tail can never complete: a peer
+            # died mid-write.  Blocking here forever was the old failure
+            # mode; now the torn frame is a diagnosis.
+            self._fail(offset,
+                       "truncated frame (peer died leaving %d bytes of a "
+                       "partial frame)" % (len(buffer) - offset))
         if offset:
             del buffer[:offset]
         return messages
@@ -283,6 +333,7 @@ class ShardEngine(Engine):
         #: ``((vertex_id, chain_position), outbox)`` for every owned
         #: collect sink; drained to the parent each round.
         self.collect_outboxes: List[Tuple[Tuple[int, int], List[Any]]] = []
+        self._heartbeat_rng: Optional[Any] = None
         super().__init__(job_graph, config)
 
     def _owns(self, task: Task) -> bool:
@@ -408,6 +459,15 @@ class ShardEngine(Engine):
                 self._control.send(("collect", key, list(outbox)))
                 del outbox[:]
 
+    def _next_heartbeat_delay_s(self) -> float:
+        """Seeded jitter (0.75x..1.25x the base cadence): the fleet never
+        phase-locks its heartbeats onto the coordinator, yet a chaos run
+        replays the exact same heartbeat schedule under ``REPRO_SEED``."""
+        assert self._heartbeat_rng is not None
+        interval_ms = self.config.heartbeat_interval_ms
+        return (interval_ms / 1000.0) * (0.75 + 0.5
+                                         * self._heartbeat_rng.random())
+
     def run(self, readers: Dict[int, _FrameReader],
             control_in: _FrameReader) -> Dict[str, Any]:
         """Drive the shard to completion; returns the done payload."""
@@ -416,7 +476,21 @@ class ShardEngine(Engine):
         reported_finished: set = set()
         rounds = 0
         last_progress = time.monotonic()
+        next_heartbeat: Optional[float] = None
+        if config.heartbeat_interval_ms is not None:
+            # Imported lazily: repro.testing pulls in oracle modules that
+            # would cycle back into the runtime at import time.
+            from repro.testing.seeds import rng_for, root_seed
+            self._heartbeat_rng = rng_for(root_seed(), "heartbeat-jitter",
+                                          self.worker_id)
+            control.send(("heartbeat", self.worker_id))
+            next_heartbeat = time.monotonic() + self._next_heartbeat_delay_s()
         while not all(task.finished for task in self.tasks):
+            if (next_heartbeat is not None
+                    and time.monotonic() >= next_heartbeat):
+                control.send(("heartbeat", self.worker_id))
+                next_heartbeat = (time.monotonic()
+                                  + self._next_heartbeat_delay_s())
             if rounds >= config.max_rounds:
                 raise JobStalledError(
                     "worker %d exceeded max_rounds=%d; unfinished: %r"
@@ -530,7 +604,9 @@ def _worker_main(worker_id: int, num_workers: int, job_graph: Any,
             writers[dst] = _FrameWriter(write_fd)
         elif dst == worker_id:
             os.close(write_fd)
-            readers[src] = _FrameReader(read_fd)
+            readers[src] = _FrameReader(
+                read_fd, peer="data pipe worker %d -> worker %d"
+                % (src, worker_id))
         else:
             os.close(read_fd)
             os.close(write_fd)
@@ -540,7 +616,8 @@ def _worker_main(worker_id: int, num_workers: int, job_graph: Any,
         if wid == worker_id:
             os.close(to_w)
             os.close(from_r)
-            control_in = _FrameReader(to_r)
+            control_in = _FrameReader(
+                to_r, peer="control pipe parent -> worker %d" % worker_id)
             control_out = _FrameWriter(from_w)
         else:
             for fd in (to_r, to_w, from_r, from_w):
@@ -581,6 +658,79 @@ def _worker_main(worker_id: int, num_workers: int, job_graph: Any,
 # -- the parent coordinator -------------------------------------------------
 
 
+class _FleetView:
+    """What a :class:`~repro.runtime.faults.ProcessChaosInjector` is
+    allowed to touch: the live worker fleet of the current attempt, by
+    worker id.  Faults go through the OS (signals, raw fd writes, file
+    corruption) -- never through engine internals -- so the coordinator
+    experiences them exactly as it would a real crash, hang or torn
+    write."""
+
+    def __init__(self, engine: "MultiprocessEngine", processes: List[Any],
+                 writers: Dict[int, "_FrameWriter"]) -> None:
+        self._engine = engine
+        self._processes = processes
+        self._writers = writers
+
+    @property
+    def now_ms(self) -> int:
+        return self._engine._now_ms()
+
+    def alive_workers(self) -> List[int]:
+        return [wid for wid, process in enumerate(self._processes)
+                if process.is_alive()]
+
+    def signal_worker(self, worker_id: int, sig: int) -> bool:
+        """Deliver an OS signal (SIGKILL, SIGSTOP, ...) to one worker;
+        returns False when the worker is already gone."""
+        process = self._processes[worker_id]
+        if not process.is_alive() or process.pid is None:
+            return False
+        try:
+            os.kill(process.pid, sig)
+        except (OSError, ProcessLookupError):
+            return False
+        return True
+
+    def garble_control_frame(self, worker_id: int) -> bool:
+        """Write a garbage length prefix straight onto the parent ->
+        worker control pipe, bypassing the frame writer -- the worker's
+        next read sees an impossible frame length and must raise
+        :class:`FrameError` instead of waiting forever."""
+        writer = self._writers.get(worker_id)
+        if writer is None or writer.broken:
+            return False
+        try:
+            os.write(writer.fd, _LEN.pack(_MAX_FRAME + 1) + b"\xde\xad\xbe\xef")
+        except (OSError, BlockingIOError):
+            return False
+        return True
+
+    def corrupt_retained_checkpoint(self, rng: Any) -> Optional[str]:
+        """Flip one byte in the newest persisted snapshot file; returns
+        the path, or ``None`` when nothing durable exists yet."""
+        store = self._engine.checkpoint_store
+        if not isinstance(store, DurableCheckpointStore):
+            return None
+        ids = store.persisted_ids()
+        if not ids:
+            return None
+        target_dir = store._path_for(ids[-1])
+        snaps = sorted(name for name in os.listdir(target_dir)
+                       if name.endswith(".snap"))
+        if not snaps:
+            return None
+        path = os.path.join(target_dir, rng.choice(snaps))
+        with open(path, "r+b") as handle:
+            blob = handle.read()
+            if not blob:
+                return None
+            offset = rng.randrange(len(blob))
+            handle.seek(offset)
+            handle.write(bytes([blob[offset] ^ 0xFF]))
+        return path
+
+
 class MultiprocessEngine:
     """Launches, supervises and federates the worker fleet.
 
@@ -606,8 +756,38 @@ class MultiprocessEngine:
         self.config = config or EngineConfig(backend="multiprocess")
         self.num_workers = (self.config.num_workers
                             or max(1, min(os.cpu_count() or 1, 8)))
-        self.checkpoint_store = CheckpointStore(
-            self.config.max_retained_checkpoints)
+        if self.config.checkpoint_dir is not None:
+            self.checkpoint_store: CheckpointStore = DurableCheckpointStore(
+                self.config.checkpoint_dir,
+                self.config.max_retained_checkpoints)
+        else:
+            self.checkpoint_store = CheckpointStore(
+                self.config.max_retained_checkpoints)
+        #: Health supervision: heartbeats drive a per-worker state
+        #: machine (RUNNING -> SUSPECTED -> FAILED -> RESTARTING) so
+        #: hung -- not just dead -- workers are detected and handed to
+        #: the restart strategy.  Disabled with the heartbeats.
+        heartbeat_ms = self.config.heartbeat_interval_ms
+        if heartbeat_ms is not None:
+            suspect_ms = self.config.watchdog_suspect_ms
+            fail_ms = self.config.watchdog_fail_ms
+            if suspect_ms is None:
+                suspect_ms = heartbeat_ms * _SUSPECT_INTERVALS
+                if fail_ms is not None:
+                    suspect_ms = min(suspect_ms, fail_ms)
+            if fail_ms is None:
+                fail_ms = max(heartbeat_ms * _FAIL_INTERVALS, suspect_ms)
+            self.watchdog: Optional[WorkerWatchdog] = WorkerWatchdog(
+                range(self.num_workers), suspect_ms, fail_ms, now_ms=0)
+        else:
+            self.watchdog = None
+        self._tracer = None
+        if self.config.observability is not None:
+            from repro.observability.tracing import TraceContext
+            self._tracer = TraceContext(self._now_ms)
+        self._workers_terminated = 0
+        self._workers_killed = 0
+        self._last_processes: List[Any] = []
         self.dead_letters: List[Any] = []
         self.recoveries = 0
         self.restarts = 0
@@ -684,14 +864,42 @@ class MultiprocessEngine:
                     % (strategy, error)) from error
             if delay_ms:
                 time.sleep(delay_ms / 1000.0)
+            if self.watchdog is not None:
+                self.watchdog.mark_fleet_restarting()
             self.restarts += 1
             self.recoveries += 1
-            latest = self.checkpoint_store.latest
-            if latest is not None:
-                restore = dict(latest.snapshots)
-            else:
-                restore = None
+            restore = self._restore_snapshots()
+            if restore is None:
                 self._received.clear()  # partial output of a dead attempt
+
+    def _restore_snapshots(self) -> Optional[Dict[SubtaskId, TaskSnapshot]]:
+        """Pick the checkpoint the next attempt restores from.
+
+        With a durable store this *re-reads* the snapshots from disk and
+        verifies every checksum -- the in-memory copy is deliberately
+        not trusted, so a corrupted or torn persisted checkpoint is
+        detected here and recovery falls back to the next-oldest intact
+        one (or to a from-scratch restart when none survives)."""
+        store = self.checkpoint_store
+        if isinstance(store, DurableCheckpointStore):
+            before = store.restore_fallbacks
+            if self._tracer is not None:
+                with self._tracer.span("fleet.restore") as span:
+                    checkpoint = store.load_latest_verified()
+                    span.attrs["fallbacks"] = (store.restore_fallbacks
+                                               - before)
+                    span.attrs["checkpoint"] = (
+                        checkpoint.checkpoint_id
+                        if checkpoint is not None else None)
+            else:
+                checkpoint = store.load_latest_verified()
+            if checkpoint is None:
+                return None
+            return dict(checkpoint.snapshots)
+        latest = store.latest
+        if latest is None:
+            return None
+        return dict(latest.snapshots)
 
     def _run_attempt(self, restore: Optional[Dict[SubtaskId, TaskSnapshot]]
                      ) -> Dict[str, Any]:
@@ -722,23 +930,53 @@ class MultiprocessEngine:
             os.close(to_r)
             os.close(from_w)
             writers[wid] = _FrameWriter(to_w)
-            readers[wid] = _FrameReader(from_r)
+            readers[wid] = _FrameReader(
+                from_r, peer="control pipe worker %d -> parent" % wid)
+        self._last_processes = processes
+        if self.watchdog is not None:
+            self.watchdog.begin_attempt(range(num), self._now_ms())
+        graceful = False
         try:
-            return self._supervise(writers, readers)
+            outcome = self._supervise(writers, readers, processes)
+            graceful = bool(outcome.get("ok"))
+            return outcome
         finally:
             for writer in writers.values():
                 writer.close()
             for reader in readers.values():
                 reader.close()
+            self._teardown_fleet(processes, graceful)
+
+    def _teardown_fleet(self, processes: List[Any], graceful: bool) -> None:
+        """Shutdown escalation: join -> terminate -> kill, ending in a
+        blocking reap so no zombies leak past ``execute()``.
+
+        The ladder must end in SIGKILL: a SIGSTOP'd (hung) worker is
+        never scheduled, so SIGTERM sits undelivered forever, while the
+        kernel honours SIGKILL even for stopped processes.  On the error
+        path the polite join is skipped -- the fleet is being torn down
+        because something is already wrong."""
+        if graceful:
             for process in processes:
                 process.join(timeout=5.0)
-            for process in processes:
-                if process.is_alive():
-                    process.terminate()
-                    process.join(timeout=5.0)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+                self._workers_terminated += 1
+        deadline = time.monotonic() + (1.0 if graceful else 0.5)
+        for process in processes:
+            if process.is_alive():
+                process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for process in processes:
+            if process.is_alive():
+                process.kill()
+                self._workers_killed += 1
+        for process in processes:
+            process.join()  # SIGKILL cannot be ignored; this reaps
 
     def _supervise(self, writers: Dict[int, _FrameWriter],
-                   readers: Dict[int, _FrameReader]) -> Dict[str, Any]:
+                   readers: Dict[int, _FrameReader],
+                   processes: List[Any]) -> Dict[str, Any]:
         interval = self.config.checkpoint_interval_ms
         next_trigger = (self._now_ms() + interval
                         if interval is not None else None)
@@ -746,6 +984,10 @@ class MultiprocessEngine:
         finished_subtasks: set = set()
         done: Dict[int, Dict[str, Any]] = {}
         error: Optional[BaseException] = None
+        watchdog = self.watchdog
+        chaos = self.config.process_chaos
+        fleet = (_FleetView(self, processes, writers)
+                 if chaos is not None else None)
 
         def broadcast(message: Tuple[Any, ...]) -> None:
             for writer in writers.values():
@@ -784,9 +1026,24 @@ class MultiprocessEngine:
                 for key, _ in events:
                     wid = key.data
                     reader = readers[wid]
-                    for message in reader.read_available():
+                    try:
+                        messages = reader.read_available()
+                    except FrameError as exc:
+                        if error is None:
+                            error = JobFailedError(
+                                "corrupt control frame from worker %d: %s"
+                                % (wid, exc))
+                        if watchdog is not None:
+                            watchdog.mark_failed(
+                                wid, "corrupt control frame: %s" % exc)
+                        selector.unregister(reader.fd)
+                        continue
+                    for message in messages:
                         kind = message[0]
-                        if kind == "ack":
+                        if kind == "heartbeat":
+                            if watchdog is not None:
+                                watchdog.heartbeat(message[1], self._now_ms())
+                        elif kind == "ack":
                             _, checkpoint_id, snapshot = message
                             if (pending is not None
                                     and pending.checkpoint_id
@@ -810,20 +1067,37 @@ class MultiprocessEngine:
                             finished_subtasks.add(tuple(message[1]))
                         elif kind == "done":
                             done[wid] = message[1]
+                            if watchdog is not None:
+                                watchdog.mark_done(wid)
                         elif kind == "failed":
                             _, error_type, error_line, trace = message
                             error = JobFailedError(
                                 "worker %d failed: %s\n%s"
                                 % (wid, error_line, trace))
+                            if watchdog is not None:
+                                watchdog.mark_failed(wid, error_line)
                     if reader.eof and wid not in done and error is None:
                         error = JobFailedError(
                             "worker %d exited without reporting a result"
                             % wid)
+                        if watchdog is not None:
+                            watchdog.mark_failed(
+                                wid, "control pipe EOF without a result")
                 for writer in writers.values():
                     writer.flush()
                 if error is not None:
                     break
                 now = self._now_ms()
+                if watchdog is not None:
+                    for event in watchdog.evaluate(now):
+                        if event.state == FAILED and error is None:
+                            error = JobFailedError(
+                                "worker %d declared failed by watchdog: %s"
+                                % (event.worker_id, event.reason))
+                    if error is not None:
+                        break
+                if chaos is not None:
+                    chaos.on_tick(fleet)
                 if pending is not None:
                     stragglers = pending.pending_subtasks & finished_subtasks
                     if stragglers:
@@ -834,10 +1108,33 @@ class MultiprocessEngine:
                         error = abort_pending("a worker drained mid-flight")
                     elif pending.is_expired(
                             now, self.config.checkpoint_timeout_ms):
-                        error = abort_pending(
-                            "timed out after %d ms waiting on %r"
-                            % (self.config.checkpoint_timeout_ms,
-                               sorted(pending.pending_subtasks)))
+                        # A barrier deadline against a worker the
+                        # watchdog already suspects is not a checkpoint
+                        # problem -- it is a hung worker.  Escalate to
+                        # worker failure so the restart strategy runs
+                        # instead of aborting checkpoint after
+                        # checkpoint against a process that will never
+                        # ack.
+                        laggards = sorted(
+                            {index % self.num_workers
+                             for _, index in pending.pending_subtasks})
+                        suspected = ([wid for wid in laggards
+                                      if watchdog.is_suspected(wid)]
+                                     if watchdog is not None else [])
+                        if suspected:
+                            reason = (
+                                "checkpoint %d barrier expired and laggard "
+                                "worker(s) %r are heartbeat-suspected"
+                                % (pending.checkpoint_id, suspected))
+                            abort_pending(reason)
+                            for wid in suspected:
+                                watchdog.mark_failed(wid, reason)
+                            error = JobFailedError(reason)
+                        else:
+                            error = abort_pending(
+                                "timed out after %d ms waiting on %r"
+                                % (self.config.checkpoint_timeout_ms,
+                                   sorted(pending.pending_subtasks)))
                     if error is not None:
                         break
                 if (next_trigger is not None and pending is None
@@ -855,8 +1152,17 @@ class MultiprocessEngine:
             selector.close()
         if error is not None:
             broadcast(("stop",))
-            for writer in writers.values():
-                writer.drain()
+            # Best-effort flush with a deadline: a SIGSTOP'd worker
+            # never reads, so a blocking drain() here would wedge the
+            # coordinator on the very failure it is reporting.  Workers
+            # that miss the stop are reaped by _teardown_fleet anyway.
+            flush_deadline = time.monotonic() + _ERROR_FLUSH_S
+            while (any(writer.pending_bytes and not writer.broken
+                       for writer in writers.values())
+                   and time.monotonic() < flush_deadline):
+                for writer in writers.values():
+                    writer.flush()
+                time.sleep(0.005)
             return {"ok": False, "error": error}
         return {"ok": True, "payloads": done}
 
@@ -864,10 +1170,24 @@ class MultiprocessEngine:
 
     def _finalize(self, payloads: Dict[int, Dict[str, Any]]) -> JobResult:
         ordered = [payloads[wid] for wid in sorted(payloads)]
+        parent_counters = {"restarts": self.restarts,
+                           "failures": self._failures,
+                           "checkpoints_aborted": self._checkpoints_aborted}
+        if self.watchdog is not None:
+            parent_counters["heartbeats_received"] = (
+                self.watchdog.heartbeats_received)
+            parent_counters["watchdog_suspicions"] = self.watchdog.suspicions
+            parent_counters["watchdog_failures"] = (
+                self.watchdog.failures_declared)
+        if isinstance(self.checkpoint_store, DurableCheckpointStore):
+            stats = self.checkpoint_store.durability_stats()
+            parent_counters["checkpoints_persisted"] = stats["persisted"]
+            parent_counters["checkpoint_corruptions_detected"] = (
+                stats["corruptions_detected"])
+            parent_counters["checkpoint_restore_fallbacks"] = (
+                stats["restore_fallbacks"])
         counters = merge_counter_maps(
-            [payload["counters"] for payload in ordered]
-            + [{"restarts": self.restarts, "failures": self._failures,
-                "checkpoints_aborted": self._checkpoints_aborted}])
+            [payload["counters"] for payload in ordered] + [parent_counters])
         gauges = merge_gauge_maps(payload["gauges"] for payload in ordered)
         for payload in ordered:
             self.dead_letters.extend(payload["dead_letters"])
@@ -876,6 +1196,8 @@ class MultiprocessEngine:
         self._registry_snapshots = [payload["registry"]
                                     for payload in ordered
                                     if payload["registry"] is not None]
+        if self._registry_snapshots:
+            self._registry_snapshots.append(self._parent_registry_snapshot())
         result = JobResult(
             rounds=max(payload["rounds"] for payload in ordered),
             simulated_time_ms=max(payload["simulated_time_ms"]
@@ -894,6 +1216,36 @@ class MultiprocessEngine:
             if bucket is not None:
                 bucket.extend(items)
         return result
+
+    def _parent_registry_snapshot(self) -> Dict[str, Any]:
+        """The coordinator's own contribution to registry federation:
+        fleet health and checkpoint durability gauges (workers cannot
+        see either -- the watchdog and the durable store live in the
+        parent)."""
+        from repro.observability.registry import MetricsRegistry
+        registry = MetricsRegistry()
+        fleet = registry.runtime
+        if self.watchdog is not None:
+            snap = self.watchdog.snapshot()
+            fleet.gauge("fleet_heartbeats_received").set(
+                snap["heartbeats_received"])
+            fleet.gauge("fleet_suspicions").set(snap["suspicions"])
+            fleet.gauge("fleet_heartbeat_recoveries").set(
+                snap["heartbeat_recoveries"])
+            fleet.gauge("fleet_failures_declared").set(
+                snap["failures_declared"])
+        fleet.gauge("fleet_workers_terminated").set(self._workers_terminated)
+        fleet.gauge("fleet_workers_killed").set(self._workers_killed)
+        if isinstance(self.checkpoint_store, DurableCheckpointStore):
+            stats = self.checkpoint_store.durability_stats()
+            fleet.gauge("checkpoints_persisted").set(stats["persisted"])
+            fleet.gauge("checkpoints_retained_on_disk").set(
+                stats["retained_on_disk"])
+            fleet.gauge("checkpoint_corruptions_detected").set(
+                stats["corruptions_detected"])
+            fleet.gauge("checkpoint_restore_fallbacks").set(
+                stats["restore_fallbacks"])
+        return registry.snapshot()
 
     def job_report(self) -> Any:
         """One federated report over the whole fleet: worker operator
@@ -919,6 +1271,8 @@ class MultiprocessEngine:
             checkpoints["duration_ms_min"] = min(durations)
             checkpoints["duration_ms_max"] = max(durations)
             checkpoints["duration_ms_mean"] = sum(durations) / len(durations)
+        if isinstance(self.checkpoint_store, DurableCheckpointStore):
+            checkpoints["durable"] = self.checkpoint_store.durability_stats()
         sections: Dict[str, Any] = {
             "job": {
                 "rounds": result.rounds,
@@ -945,6 +1299,13 @@ class MultiprocessEngine:
                      "records_emitted", 0)}
                 for index, ws in enumerate(self._worker_sections)],
         }
+        fleet: Dict[str, Any] = {
+            "shutdown": {"terminated": self._workers_terminated,
+                         "killed": self._workers_killed},
+        }
+        if self.watchdog is not None:
+            fleet["watchdog"] = self.watchdog.snapshot()
+        sections["fleet"] = fleet
         watermark_sections = [ws["watermarks"]
                               for ws in self._worker_sections
                               if "watermarks" in ws]
@@ -960,6 +1321,12 @@ class MultiprocessEngine:
             sections["channels"] = channels
         span_sections = [ws["spans"] for ws in self._worker_sections
                          if "spans" in ws]
+        if self._tracer is not None and self._tracer.started:
+            span_sections.append({
+                "started": self._tracer.started,
+                "dropped": self._tracer.dropped,
+                "by_name": self._tracer.spans_by_name(),
+            })
         if span_sections:
             by_name: Dict[str, int] = {}
             for section in span_sections:

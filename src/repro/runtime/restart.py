@@ -78,13 +78,22 @@ class FixedDelayRestart(RestartStrategy):
 
 class ExponentialBackoffRestart(RestartStrategy):
     """Delay grows by ``multiplier`` per consecutive failure, capped at
-    ``max_delay_ms``; optionally bounded in total attempts."""
+    ``max_delay_ms``; optionally bounded in total attempts.
+
+    ``jitter`` spreads each delay uniformly over ``[delay * (1 -
+    jitter), delay]`` so fleets restarting off the same failure do not
+    thunder back in lock-step.  The randomness is *seeded*: it draws
+    from :func:`repro.testing.seeds.rng_for` under the process-wide
+    ``REPRO_SEED`` root, so a chaos run replays the same backoff
+    sequence bit-for-bit.
+    """
 
     name = "exponential-backoff"
 
     def __init__(self, initial_delay_ms: int = 1, max_delay_ms: int = 1000,
                  multiplier: float = 2.0,
-                 max_restarts: Optional[int] = None) -> None:
+                 max_restarts: Optional[int] = None,
+                 jitter: float = 0.0) -> None:
         if initial_delay_ms < 0:
             raise ValueError("initial_delay_ms must be >= 0")
         if max_delay_ms < initial_delay_ms:
@@ -93,23 +102,37 @@ class ExponentialBackoffRestart(RestartStrategy):
             raise ValueError("multiplier must be >= 1.0")
         if max_restarts is not None and max_restarts < 1:
             raise ValueError("max_restarts must be >= 1 when given")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be within [0.0, 1.0]")
         self.initial_delay_ms = initial_delay_ms
         self.max_delay_ms = max_delay_ms
         self.multiplier = multiplier
         self.max_restarts = max_restarts
+        self.jitter = jitter
         self._attempts = 0
+        self._rng = None
 
     def on_failure(self, now_ms: int) -> Optional[int]:
         self._attempts += 1
         if self.max_restarts is not None and self._attempts > self.max_restarts:
             return None
         delay = self.initial_delay_ms * (self.multiplier ** (self._attempts - 1))
-        return min(int(delay), self.max_delay_ms)
+        delay = min(int(delay), self.max_delay_ms)
+        if self.jitter and delay:
+            if self._rng is None:
+                # Lazy: repro.testing imports repro.api which imports
+                # the runtime; resolving the seed tree at first failure
+                # avoids the cycle.
+                from repro.testing.seeds import rng_for, root_seed
+                self._rng = rng_for(root_seed(), "restart-backoff-jitter")
+            delay = int(delay * (1.0 - self.jitter * self._rng.random()))
+        return delay
 
     def __repr__(self) -> str:
-        return ("ExponentialBackoffRestart(initial=%d, max=%d, x%.1f, used=%d)"
+        return ("ExponentialBackoffRestart(initial=%d, max=%d, x%.1f, "
+                "jitter=%.2f, used=%d)"
                 % (self.initial_delay_ms, self.max_delay_ms,
-                   self.multiplier, self._attempts))
+                   self.multiplier, self.jitter, self._attempts))
 
 
 class FailureRateRestart(RestartStrategy):

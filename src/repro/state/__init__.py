@@ -8,6 +8,10 @@ from repro.state.checkpoint import (
     PendingCheckpoint,
     TaskSnapshot,
 )
+from repro.state.durable import (
+    CheckpointCorruptionError,
+    DurableCheckpointStore,
+)
 from repro.state.savepoint import OperatorSnapshot, Savepoint
 from repro.state.descriptors import (
     AggregatingState,
@@ -27,8 +31,10 @@ __all__ = [
     "KeyedStateBackend",
     "OperatorSnapshot",
     "Savepoint",
+    "CheckpointCorruptionError",
     "CheckpointStore",
     "CompletedCheckpoint",
+    "DurableCheckpointStore",
     "PendingCheckpoint",
     "TaskSnapshot",
     "AggregatingState",

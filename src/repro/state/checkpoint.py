@@ -143,6 +143,12 @@ class CheckpointStore:
         while len(self._completed) > self._max_retained:
             self._completed.pop(0)
 
+    def discard(self, checkpoint_id: int) -> None:
+        """Drop one retained checkpoint (it failed durability
+        verification and must not be offered for recovery again)."""
+        self._completed = [checkpoint for checkpoint in self._completed
+                           if checkpoint.checkpoint_id != checkpoint_id]
+
     @property
     def latest(self) -> Optional[CompletedCheckpoint]:
         return self._completed[-1] if self._completed else None

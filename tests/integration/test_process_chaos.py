@@ -1,0 +1,266 @@
+"""OS-level chaos battery for the multiprocess backend.
+
+Where ``test_faults.py`` exercises *modelled* chaos inside the
+cooperative engine, this battery attacks the real failure domain of the
+multiprocess backend with the operating system: SIGKILL and SIGSTOP
+against worker processes, garbage bytes on control pipes, and flipped
+bits in persisted checkpoint files.  The contract under test is the
+paper's fault-tolerance claim end to end: every faulted run must
+converge to output identical to the unfaulted cooperative run, hung
+workers must be *detected* (by heartbeat watchdog, not checkpoint
+luck), and no attempt may leak zombie processes.
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.api.environment import Environment
+from repro.connectors.sinks import TransactionalTextFileSink
+from repro.runtime.engine import EngineConfig
+from repro.runtime.faults import (
+    CORRUPT_CHECKPOINT,
+    KILL_WORKER,
+    STOP_WORKER,
+    ProcessChaosInjector,
+    ProcessFaultEvent,
+)
+from repro.runtime.restart import FixedDelayRestart
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="multiprocess backend requires the fork start method")
+
+N = 1200
+#: Even so each key's records originate from exactly ONE source subtask
+#: (from_collection deals element index % parallelism, so v % 14 fixes
+#: v % 2): per-key arrival order -- and with it every running fold
+#: total -- is then deterministic across backends, attempts and
+#: restores, which is what lets the battery demand byte-identical sink
+#: output instead of a weaker final-state check.
+KEYS = 14
+
+
+def _throttle(value):
+    """Slow the stream enough that mid-run faults land mid-run.
+
+    Sleeps on both value parities so BOTH source subtasks stay live for
+    hundreds of ms: the coordinator stops triggering checkpoints once
+    any source subtask finishes, so an unthrottled subtask would race
+    the first checkpoint trigger and the durable store could stay
+    empty."""
+    if value % 4 < 2:
+        time.sleep(0.002)
+    return value
+
+
+def _build_job(env, target):
+    (env.from_collection(range(N))
+        .map(_throttle, name="throttle")
+        .key_by(lambda v: v % KEYS)
+        .fold(0, lambda acc, value: acc + value)
+        .add_sink(TransactionalTextFileSink(
+            target, formatter=lambda pair: "%d:%d" % pair)))
+
+
+def _run_job(config, target):
+    env = Environment(parallelism=2, config=config)
+    _build_job(env, target)
+    job = env.execute()
+    with open(target) as handle:
+        lines = sorted(line.rstrip("\n") for line in handle)
+    return lines, job, env
+
+
+def _expected_lines(tmp_path):
+    """The unfaulted cooperative run is the correctness oracle."""
+    target = str(tmp_path / "oracle.txt")
+    lines, _, _ = _run_job(EngineConfig(), target)
+    return lines
+
+
+def _chaos_config(tmp_path, schedule, seed=0, **kwargs):
+    kwargs.setdefault("checkpoint_interval_ms", 40)
+    kwargs.setdefault("checkpoint_dir", str(tmp_path / "chk"))
+    kwargs.setdefault("restart_strategy",
+                      FixedDelayRestart(max_restarts=10, delay_ms=0))
+    kwargs.setdefault("heartbeat_interval_ms", 20)
+    return EngineConfig(
+        backend="multiprocess", num_workers=2,
+        process_chaos=ProcessChaosInjector(schedule, seed=seed), **kwargs)
+
+
+def _assert_no_zombies():
+    # Every worker of every attempt must be reaped: the teardown ladder
+    # (join -> terminate -> kill -> blocking join) ends each attempt.
+    leaked = [p for p in multiprocessing.active_children() if p.is_alive()]
+    assert not leaked, "worker processes leaked: %r" % leaked
+
+
+# -- SIGKILL parity ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23])
+def test_sigkill_parity(tmp_path, seed):
+    """A seeded SIGKILL mid-run: the respawned fleet restores from the
+    durable checkpoint and the 2PC sink's output is identical to the
+    unfaulted cooperative run."""
+    expected = _expected_lines(tmp_path)
+    schedule = [ProcessFaultEvent(250 + 29 * (seed % 10), KILL_WORKER,
+                                  target=seed)]
+    config = _chaos_config(tmp_path, schedule, seed=seed)
+    lines, job, env = _run_job(config, str(tmp_path / "out.txt"))
+
+    assert config.process_chaos.applied, "the kill never fired"
+    assert job.restarts >= 1
+    assert lines == expected
+    _assert_no_zombies()
+    report = env.job_report()
+    assert report["checkpoints"]["durable"]["persisted"] >= 1
+    assert report["fleet"]["watchdog"]["failures_declared"] >= 1
+
+
+def test_double_kill_both_workers(tmp_path):
+    """Two kills in quick succession (possibly both workers): the fleet
+    respawns as many times as needed and still converges exactly."""
+    expected = _expected_lines(tmp_path)
+    schedule = [ProcessFaultEvent(200, KILL_WORKER, target=0),
+                ProcessFaultEvent(600, KILL_WORKER, target=1)]
+    config = _chaos_config(tmp_path, schedule)
+    lines, job, env = _run_job(config, str(tmp_path / "out.txt"))
+
+    assert len(config.process_chaos.applied) == 2
+    assert job.restarts >= 1
+    assert lines == expected
+    _assert_no_zombies()
+
+
+# -- SIGSTOP: hung-worker detection -----------------------------------------
+
+
+def test_sigstop_detected_by_watchdog_not_checkpoint_timeout(tmp_path):
+    """A SIGSTOP'd worker is not dead -- its pipes stay open, so EOF
+    never fires.  The heartbeat watchdog must declare it failed within
+    the configured deadline; the checkpoint timeout (set absurdly high
+    here) must never be the detector."""
+    expected = _expected_lines(tmp_path)
+    schedule = [ProcessFaultEvent(200, STOP_WORKER, target=0)]
+    config = _chaos_config(
+        tmp_path, schedule,
+        checkpoint_timeout_ms=120_000,  # would "detect" after 2 minutes
+        heartbeat_interval_ms=20,
+        watchdog_suspect_ms=100,
+        watchdog_fail_ms=400)
+    started = time.monotonic()
+    lines, job, env = _run_job(config, str(tmp_path / "out.txt"))
+    elapsed = time.monotonic() - started
+
+    assert config.process_chaos.applied, "the stop never fired"
+    assert job.restarts >= 1
+    assert lines == expected
+    # Detection came from the watchdog deadline, not the 2-minute
+    # checkpoint timeout: the whole run (including the respawn) finishes
+    # in a few seconds.
+    assert elapsed < 60, "hung worker sat undetected for %.1fs" % elapsed
+    report = env.job_report()
+    watchdog = report["fleet"]["watchdog"]
+    assert watchdog["failures_declared"] >= 1
+    assert watchdog["suspicions"] >= 1
+    # The stopped process ignored SIGTERM; teardown had to SIGKILL it.
+    assert report["fleet"]["shutdown"]["killed"] >= 1
+    _assert_no_zombies()
+
+
+def test_sigstop_without_checkpointing_still_detected(tmp_path):
+    """Watchdog detection must not depend on checkpointing being on."""
+    expected = _expected_lines(tmp_path)
+    schedule = [ProcessFaultEvent(200, STOP_WORKER, target=1)]
+    config = _chaos_config(
+        tmp_path, schedule,
+        checkpoint_interval_ms=None,
+        checkpoint_dir=None,
+        heartbeat_interval_ms=20,
+        watchdog_suspect_ms=100,
+        watchdog_fail_ms=400)
+    lines, job, env = _run_job(config, str(tmp_path / "out.txt"))
+
+    assert job.restarts >= 1  # from-scratch restart
+    assert lines == expected
+    assert env.job_report()["fleet"]["watchdog"]["failures_declared"] >= 1
+    _assert_no_zombies()
+
+
+# -- checkpoint corruption ---------------------------------------------------
+
+
+def test_corrupted_checkpoint_detected_and_survived(tmp_path):
+    """Flip a byte in the newest persisted checkpoint, then kill a
+    worker on the same supervision tick.  Recovery must *detect* the
+    corruption (CRC mismatch) and fall back -- to an older checkpoint or
+    to a from-scratch restart -- never restore garbage state."""
+    expected = _expected_lines(tmp_path)
+    # corrupt-checkpoint retries until a durable checkpoint exists; the
+    # kill queues behind it and fires on the same tick, so no fresh
+    # intact checkpoint can slip in between.
+    schedule = [ProcessFaultEvent(100, CORRUPT_CHECKPOINT),
+                ProcessFaultEvent(110, KILL_WORKER, target=0)]
+    config = _chaos_config(tmp_path, schedule, seed=5)
+    lines, job, env = _run_job(config, str(tmp_path / "out.txt"))
+
+    assert len(config.process_chaos.applied) == 2
+    assert job.restarts >= 1
+    assert lines == expected
+    report = env.job_report()
+    durable = report["checkpoints"]["durable"]
+    assert durable["corruptions_detected"] >= 1
+    assert job.counters.get("checkpoint_corruptions_detected", 0) >= 1
+    _assert_no_zombies()
+
+
+# -- multi-seed sweep (the battery) ------------------------------------------
+
+
+def _battery_seeds():
+    """Seeds for the local sweep; CI's chaos-smoke job runs the full
+    >= 20-seed battery through ``benchmarks/bench_e13_chaos.py``."""
+    return [int(s) for s in os.environ.get(
+        "REPRO_CHAOS_SEEDS", "3 11").split()]
+
+
+@pytest.mark.parametrize("seed", _battery_seeds())
+def test_seeded_battery(tmp_path, seed):
+    """Randomized kill/stop schedule per seed: output parity with the
+    unfaulted run, no zombies, every fault accounted for."""
+    expected = _expected_lines(tmp_path)
+    config = _chaos_config(
+        tmp_path,
+        ProcessChaosInjector.from_seed(
+            seed, num_faults=2, first_ms=150, last_ms=550).schedule,
+        seed=seed,
+        # Wide enough that a worker merely slowed by a loaded machine is
+        # never falsely declared dead mid-sweep; a SIGSTOP'd one still
+        # trips it in ~1.2s.
+        watchdog_suspect_ms=250, watchdog_fail_ms=1200)
+    lines, job, env = _run_job(config, str(tmp_path / "out.txt"))
+
+    assert lines == expected, "seed %d diverged" % seed
+    _assert_no_zombies()
+
+
+# -- shutdown hygiene --------------------------------------------------------
+
+
+def test_clean_run_leaves_no_zombies(tmp_path):
+    config = EngineConfig(backend="multiprocess", num_workers=2)
+    env = Environment(parallelism=2, config=config)
+    collected = (env.from_collection(range(100))
+                 .key_by(lambda v: v % 3).sum().collect())
+    env.execute()
+    env.job_report()
+    assert collected.get()
+    _assert_no_zombies()
+    report = env.job_report()
+    assert report["fleet"]["shutdown"] == {"terminated": 0, "killed": 0}

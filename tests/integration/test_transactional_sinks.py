@@ -194,6 +194,111 @@ class TestExactlyOnceThroughEngine:
             stream.add_sink(sink, parallelism=2)
 
 
+class TestResumeReconciliation:
+    """The multiprocess failure domain: the sink *object* dies with its
+    worker and a fresh fork reattaches to the on-disk artifacts via
+    ``resume()``.  Respawns can themselves crash and respawn, so resume
+    + recover must be idempotent over the same artifacts -- and must
+    close the crash windows inside ``commit_through`` (meta written but
+    target unpublished; target published but side files undeleted)."""
+
+    def _seeded_sink(self, tmp_path):
+        """A sink that committed txn 1 (["a", "b"]) and holds txn 2
+        (["c"]) pre-committed, then 'crashed' -- only disk survives."""
+        path = str(tmp_path / "out.txt")
+        sink = TransactionalTextFileSink(path)
+        sink.open()
+        sink.write("a")
+        sink.write("b")
+        sink.pre_commit(1)
+        sink.commit_through(1)
+        sink.write("c")
+        sink.pre_commit(2)
+        return path
+
+    def test_two_consecutive_respawns_do_not_double_commit(self, tmp_path):
+        path = self._seeded_sink(tmp_path)
+
+        first = TransactionalTextFileSink(path)
+        first.resume()
+        first.recover([2])  # checkpoint knew txn 2 was pending: commit it
+        assert read_lines(path) == ["a", "b", "c"]
+        assert first.records_committed == 3
+
+        # The respawn itself dies; a second respawn walks the same
+        # artifacts.  Txn 2's side file is gone and meta says it is
+        # committed, so nothing may commit twice.
+        second = TransactionalTextFileSink(path)
+        second.resume()
+        second.recover([2])
+        assert read_lines(path) == ["a", "b", "c"]
+        assert second.records_committed == 3
+        assert second.pending_transactions() == []
+        assert_no_leftovers(path)
+
+    def test_resume_after_crash_between_meta_and_publish(self, tmp_path):
+        """Window A: meta recorded the commit but the process died
+        before the target was rewritten.  The side files at or below
+        committed_through hold the missing records."""
+        path = self._seeded_sink(tmp_path)
+        sink = TransactionalTextFileSink(path)
+        sink.resume()
+        # Simulate the torn commit by hand: meta + side file say txn 2
+        # committed, target still shows only txn 1.
+        sink._committed_through = 2
+        sink._committed.append("c")
+        sink._write_meta()
+        sink._committed.pop()
+
+        respawned = TransactionalTextFileSink(path)
+        respawned.resume()
+        assert read_lines(path) == ["a", "b", "c"]  # re-applied + published
+        assert respawned.records_committed == 3
+        assert respawned.pending_transactions() == []
+        assert_no_leftovers(path)
+
+    def test_resume_after_crash_between_publish_and_side_cleanup(
+            self, tmp_path):
+        """Window B: the target was published but the process died
+        before deleting the side files.  They describe already-committed
+        transactions and must be swept, never re-committed."""
+        path = self._seeded_sink(tmp_path)
+        sink = TransactionalTextFileSink(path)
+        sink.resume()
+        sink.recover([2])
+        assert read_lines(path) == ["a", "b", "c"]
+        # Resurrect txn 2's side file as the crash would have left it.
+        with open(path + ".pending-2", "w") as handle:
+            handle.write("c\n")
+
+        respawned = TransactionalTextFileSink(path)
+        respawned.resume()
+        assert read_lines(path) == ["a", "b", "c"]  # not ["a","b","c","c"]
+        assert respawned.pending_transactions() == []
+        assert_no_leftovers(path)
+        # Even a replayed commit notification cannot double it.
+        respawned.recover([2])
+        assert read_lines(path) == ["a", "b", "c"]
+
+    def test_resume_keeps_uncommitted_side_files_pending(self, tmp_path):
+        path = self._seeded_sink(tmp_path)
+        sink = TransactionalTextFileSink(path)
+        sink.resume()
+        assert sink.pending_transactions() == [2]
+        # A restore whose checkpoint predates txn 2 aborts it instead.
+        sink.recover([])
+        assert read_lines(path) == ["a", "b"]
+        assert_no_leftovers(path)
+
+    def test_open_wipes_meta_with_the_other_artifacts(self, tmp_path):
+        path = self._seeded_sink(tmp_path)
+        assert os.path.exists(path + ".txn-meta.json")
+        fresh = TransactionalTextFileSink(path)
+        fresh.open()
+        assert not os.path.exists(path + ".txn-meta.json")
+        assert read_lines(path) == []
+
+
 class TestFormats:
     def test_jsonl_round_trip(self, tmp_path):
         import json
