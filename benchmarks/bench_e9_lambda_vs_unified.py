@@ -5,97 +5,272 @@ Reproduces the STREAMLINE motivation experiment: the same live query
 
 * a **lambda architecture** -- a batch layer recomputed every T ms (one
   DataSet job per cycle) whose serving view is stale between cycles;
-* the **unified pipeline** -- one streaming job whose keyed running
-  counts update on every record.
+* the **unified hybrid pipeline** -- ONE job built with
+  ``env.read(history).then_stream(live, cutover=...)`` that drains the
+  bounded history prefix, crosses the cutover watermark, and keeps the
+  same keyed running counts updating on every live record.
 
-Metric: *result staleness*, the age (in event time) of the served view
-when probed at uniformly spread probe instants, plus the number of
-systems/jobs a team must operate.
+Unlike the original simulation this drives the real hybrid execution
+path: the unified run goes through :class:`HybridSource`, the cutover
+discipline (history records after the boundary and live records before
+it are skipped, each exactly once), and the elevated history burst.
+Correctness is pinned to a brute-force ``collections.Counter`` over the
+full event list -- the unified view must match it exactly.
 
-Expected shape (asserted):
-* unified staleness is ~0 at every probe;
-* lambda staleness averages ~T/2 and grows with T;
-* lambda runs many jobs where unified runs one.
+Metrics:
+* *result staleness* -- the age (in event time) of the served view at
+  uniformly spread probe instants (deterministic: pure event-time math);
+* *jobs run* -- the operational burden (lambda runs one batch job per
+  cycle, unified runs one job, period);
+* *wall clock* -- the unified job must be no slower than the lambda
+  split at its freshest cycle (a same-run ratio, so machine speed
+  cancels out; this is the metric the CI baseline gates).
+
+``python benchmarks/bench_e9_lambda_vs_unified.py`` refreshes the
+committed ``BENCH_e9.json``; ``--check-baseline`` reruns and gates
+against it without overwriting (perf_smoke idiom, 25% tolerance on the
+speedup ratio; the staleness table is deterministic and diffed exactly).
 """
 
-import pytest
+import time
+from collections import Counter
 
-from harness import format_table, record
-from repro.api import StreamExecutionEnvironment
+from harness import format_table, load_json, record, record_json
+from repro.api import Environment
 
 DURATION_MS = 60_000
-EVENTS = [("k%d" % (ts % 7), ts) for ts in range(0, DURATION_MS, 5)]
+KEYS = 7
+EVENTS = [("k%d" % (ts % KEYS), ts) for ts in range(0, DURATION_MS, 5)]
+#: The history/live split: everything at or before the cutover watermark
+#: is "data at rest", everything after is "data in motion".
+BOUNDARY = 30_000
+HISTORY = [e for e in EVENTS if e[1] <= BOUNDARY]
+LIVE = [e for e in EVENTS if e[1] > BOUNDARY]
 PROBES = list(range(5_000, DURATION_MS, 5_000))
 CYCLES = [2_000, 10_000, 30_000]
 
+#: A fresh-vs-baseline speedup ratio may degrade by at most this much.
+TOLERANCE = 0.25
 
-def run_unified():
-    """One streaming job; the view updates on every record, so at any
-    probe instant the served count reflects everything up to it."""
-    env = StreamExecutionEnvironment()
-    updates = (env.from_collection(EVENTS, timestamped=True)
-               .key_by(lambda v: v[0])
-               .count()
-               .collect(with_timestamps=True))
-    env.execute()
-    # View timeline: (event ts, key, running count).
-    view_updates = sorted(
-        (ts, value[0], value[1]) for value, ts in updates.get())
+
+def reference_counts():
+    """The brute-force oracle: per-key counts over ALL events."""
+    return dict(Counter(key for key, _ in EVENTS))
+
+
+def _avg_staleness(view_updates):
+    """Average probe-time age of the served view, in event-time ms.
+    ``view_updates`` is a sorted list of update event timestamps."""
     staleness = []
     for probe in PROBES:
-        last_update = max((ts for ts, _, _ in view_updates if ts <= probe),
-                          default=0)
-        staleness.append(probe - last_update)
-    return sum(staleness) / len(staleness), 1  # one job
+        last = max((ts for ts in view_updates if ts <= probe), default=0)
+        staleness.append(probe - last)
+    return sum(staleness) / len(staleness)
+
+
+def run_unified():
+    """One hybrid job: history drained through the cutover, then the
+    live side, with the keyed running count surviving the seam."""
+    env = Environment(parallelism=2)
+    updates = (env.read(HISTORY)
+               .then_stream(lambda: LIVE, cutover=BOUNDARY,
+                            timestamp_fn=lambda e: e[1],
+                            name="e9-hybrid")
+               .key_by(lambda e: e[0])
+               # Running count that also remembers the event time of the
+               # record that produced it -- the staleness timeline.
+               .fold((0, 0), lambda acc, e: (acc[0] + 1, e[1]),
+                     name="running-count")
+               .collect())
+    start = time.perf_counter()
+    env.execute()
+    elapsed = time.perf_counter() - start
+
+    # Served view over time: every (key, (count, event_ts)) update.
+    timeline = sorted(ts for _key, (_count, ts) in updates.get())
+    final_view = {}
+    for key, (count, _ts) in updates.get():
+        final_view[key] = max(count, final_view.get(key, 0))
+    assert final_view == reference_counts(), \
+        "unified view diverged from the brute-force reference"
+
+    rows = env.job_report()["cutover"]
+    accounting = {
+        "history_emitted": sum(r["history_emitted"] for r in rows),
+        "stream_emitted": sum(r["stream_emitted"] for r in rows),
+        "history_skipped": sum(r["history_skipped"] for r in rows),
+        "stream_skipped": sum(r["stream_skipped"] for r in rows),
+    }
+    assert (accounting["history_emitted"] + accounting["stream_emitted"]
+            == len(EVENTS)), "records lost or duplicated across the seam"
+    return {
+        "seconds": round(elapsed, 4),
+        "avg_staleness_ms": round(_avg_staleness(timeline), 1),
+        "jobs": 1,
+        "cutover": BOUNDARY,
+        **accounting,
+    }
 
 
 def run_lambda(cycle_ms):
-    """Batch layer: recompute the whole view every cycle; the serving
-    view's freshness is the end of the last completed batch."""
-    jobs = 0
+    """Batch layer: recompute the whole view from scratch every cycle;
+    the serving view's freshness is the end of the last completed
+    batch."""
     recompute_points = list(range(cycle_ms, DURATION_MS + 1, cycle_ms))
+    final_view = {}
+    start = time.perf_counter()
     for boundary in recompute_points:
-        env = StreamExecutionEnvironment()
-        (env.from_bounded([e for e in EVENTS if e[1] < boundary])
-         .group_by(lambda v: v[0])
-         .count()
-         .collect())
+        env = Environment(parallelism=2)
+        result = (env.read([e for e in EVENTS if e[1] < boundary])
+                  .group_by(lambda v: v[0])
+                  .count()
+                  .collect())
         env.execute()
-        jobs += 1
-    staleness = []
-    for probe in PROBES:
-        completed = [boundary for boundary in recompute_points
-                     if boundary <= probe]
-        view_fresh_until = completed[-1] if completed else 0
-        staleness.append(probe - view_fresh_until)
-    return sum(staleness) / len(staleness), jobs
+        final_view = dict(result.get())
+    elapsed = time.perf_counter() - start
+    assert final_view == reference_counts(), \
+        "lambda batch view diverged from the brute-force reference"
+    return {
+        "seconds": round(elapsed, 4),
+        "avg_staleness_ms": round(_avg_staleness(recompute_points), 1),
+        "jobs": len(recompute_points),
+        "cycle_ms": cycle_ms,
+    }
 
 
 def sweep():
-    table = {"unified": run_unified()}
+    """The payload that becomes BENCH_e9.json."""
+    unified = run_unified()
+    lambdas = {str(cycle): run_lambda(cycle) for cycle in CYCLES}
+    freshest = lambdas[str(min(CYCLES))]
+    return {
+        "experiment": "e9_lambda_vs_unified",
+        "events": len(EVENTS),
+        "keys": KEYS,
+        "cutover": BOUNDARY,
+        "history_records": len(HISTORY),
+        "live_records": len(LIVE),
+        "unified": unified,
+        "lambda": lambdas,
+        # Same-run wall-clock ratio: machine speed cancels out.  >= 1.0
+        # means the unified hybrid job is no slower than re-running the
+        # batch layer at the freshest tested cycle.
+        "speedup_unified_vs_lambda": round(
+            freshest["seconds"] / unified["seconds"], 2),
+    }
+
+
+def assert_shape(payload):
+    """The deterministic gates: unified is fresh and cheap to operate,
+    lambda staleness tracks (and grows with) the recompute cycle."""
+    unified = payload["unified"]
+    assert unified["avg_staleness_ms"] <= 5
+    assert unified["jobs"] == 1
+    previous = unified["avg_staleness_ms"]
     for cycle in CYCLES:
-        table["lambda %dms" % cycle] = run_lambda(cycle)
-    return table
+        mode = payload["lambda"][str(cycle)]
+        assert mode["avg_staleness_ms"] >= cycle / 4
+        assert mode["avg_staleness_ms"] >= previous
+        assert mode["jobs"] == DURATION_MS // cycle
+        previous = mode["avg_staleness_ms"]
+    assert payload["speedup_unified_vs_lambda"] >= 1.0, \
+        "unified hybrid job slower than the lambda split"
+
+
+def check_baseline(payload):
+    """Diff a fresh run against the committed BENCH_e9.json; returns
+    regression messages (empty == pass)."""
+    problems = []
+    baseline = load_json("e9")
+    if baseline is None:
+        return ["BENCH_e9.json baseline missing -- run "
+                "`python benchmarks/bench_e9_lambda_vs_unified.py` "
+                "and commit it"]
+
+    # Staleness is pure event-time math: any drift means the hybrid
+    # pipeline changed what it emits, not that the machine got slower.
+    fresh = payload["unified"]["avg_staleness_ms"]
+    committed = baseline["unified"]["avg_staleness_ms"]
+    if fresh != committed:
+        problems.append("unified staleness drifted: %.1f != baseline %.1f"
+                        % (fresh, committed))
+    for cycle in CYCLES:
+        fresh = payload["lambda"][str(cycle)]["avg_staleness_ms"]
+        committed = baseline["lambda"][str(cycle)]["avg_staleness_ms"]
+        if fresh != committed:
+            problems.append(
+                "lambda %dms staleness drifted: %.1f != baseline %.1f"
+                % (cycle, fresh, committed))
+
+    fresh = payload["speedup_unified_vs_lambda"]
+    committed = baseline["speedup_unified_vs_lambda"]
+    floor = committed * (1.0 - TOLERANCE)
+    print("e9 unified-vs-lambda speedup: fresh %.2fx vs baseline %.2fx "
+          "(floor %.2fx)" % (fresh, committed, floor))
+    if fresh < floor:
+        problems.append(
+            "unified-vs-lambda speedup regressed: %.2fx < %.2fx "
+            "(baseline %.2fx - 25%%)" % (fresh, floor, committed))
+    return problems
+
+
+def _render_table(payload):
+    rows = [["unified (then_stream)",
+             payload["unified"]["avg_staleness_ms"],
+             payload["unified"]["jobs"],
+             payload["unified"]["seconds"]]]
+    for cycle in CYCLES:
+        mode = payload["lambda"][str(cycle)]
+        rows.append(["lambda %dms" % cycle, mode["avg_staleness_ms"],
+                     mode["jobs"], mode["seconds"]])
+    return format_table(
+        ["architecture", "avg staleness (event-ms)", "jobs run", "seconds"],
+        rows,
+        title="E9: freshness of a live per-key count view, 60s of events "
+              "(history <= %dms via then_stream), probed every 5s"
+              % BOUNDARY)
 
 
 def test_e9_lambda_vs_unified(benchmark):
-    table = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    payload = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    record("e9_lambda_vs_unified", _render_table(payload))
+    record_json("e9", payload)
+    assert_shape(payload)
 
-    rows = [[name, staleness, jobs]
-            for name, (staleness, jobs) in table.items()]
-    record("e9_lambda_vs_unified", format_table(
-        ["architecture", "avg result staleness (event-ms)", "jobs run"],
-        rows,
-        title="E9: freshness of a live per-key count view, 60s of events, "
-              "probed every 5s"))
 
-    unified_staleness, unified_jobs = table["unified"]
-    assert unified_staleness <= 5
-    assert unified_jobs == 1
-    previous = unified_staleness
-    for cycle in CYCLES:
-        staleness, jobs = table["lambda %dms" % cycle]
-        assert staleness >= cycle / 4          # staleness tracks the cycle
-        assert staleness >= previous           # and grows with it
-        assert jobs == DURATION_MS // cycle    # operational burden
-        previous = staleness
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_e9_lambda_vs_unified.py",
+        description="Lambda-vs-unified freshness bench on the real "
+                    "hybrid (then_stream) execution path.")
+    parser.add_argument("--check-baseline", action="store_true",
+                        help="compare a fresh run against the committed "
+                             "BENCH_e9.json; exit 1 on staleness drift "
+                             "or a >25%% speedup regression (never "
+                             "overwrites the baseline)")
+    args = parser.parse_args(argv)
+
+    payload = sweep()
+    print(_render_table(payload))
+    assert_shape(payload)
+
+    if args.check_baseline:
+        problems = check_baseline(payload)
+        if problems:
+            for problem in problems:
+                print("REGRESSION: %s" % problem)
+            return 1
+        print("e9 smoke: OK")
+        return 0
+
+    record_json("e9", payload)
+    print("recorded BENCH_e9.json (speedup %.2fx)"
+          % payload["speedup_unified_vs_lambda"])
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

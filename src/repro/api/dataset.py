@@ -183,6 +183,28 @@ class DataSet:
         from repro.api.stream import DataStream
         return DataStream(self.env, self.node, self._partitioner)
 
+    def then_stream(self, stream: Any, cutover: Optional[int] = None, *,
+                    timestamp_fn: Optional[Callable[[Any], int]] = None,
+                    timestamped: bool = False,
+                    history_burst: int = 8,
+                    name: str = "hybrid-source") -> "DataStream":
+        """Continue this bounded history with a live stream: one logical
+        pipeline that drains the history through the batched path, then
+        hands its operator state to the stream side at the seam.
+
+        ``stream`` may be a :class:`~repro.api.stream.DataStream` source
+        handle, a replayable factory of iterables, or a plain iterable.
+        With ``cutover=T`` (event time, requires ``timestamp_fn`` or
+        timestamped sides) the seam is watermark-precise: history records
+        after ``T`` and stream records at or before ``T`` are dropped
+        (and counted), and ``Watermark(T)`` is emitted at the hand-off.
+        Without a cutover the sides are simply concatenated.
+        """
+        return self.env._hybrid(self, stream, cutover=cutover,
+                                timestamp_fn=timestamp_fn,
+                                timestamped=timestamped,
+                                history_burst=history_burst, name=name)
+
 
 class GroupedDataSet:
     """A DataSet grouped by key, awaiting a group-wise operation."""

@@ -23,7 +23,7 @@ from typing import Any, Callable, Iterable, List, Optional
 
 from repro.plan.chaining import build_job_graph
 from repro.plan.explain import explain_job_graph, explain_stream_graph
-from repro.plan.graph import StreamGraph, StreamNode
+from repro.plan.graph import SourceSpec, StreamGraph, StreamNode
 from repro.runtime.engine import Engine, EngineConfig, JobResult
 from repro.runtime.operators import IteratorSource
 
@@ -110,6 +110,7 @@ class Environment:
             operator_factory=lambda: IteratorSource(
                 iterable_factory, timestamped=timestamped, name=name),
             parallelism=p, is_source=True)
+        node.source_spec = SourceSpec(iterable_factory, timestamped)
         return DataStream(self, node)
 
     def generate_sequence(self, start: int, end: int,
@@ -152,6 +153,7 @@ class Environment:
             operator_factory=lambda: IteratorSource(
                 lambda: materialised, name=name),
             parallelism=self.parallelism, is_source=True)
+        node.source_spec = SourceSpec(lambda: materialised, False)
         return DataSet(self, node)
 
     def read(self, values: Iterable[Any],
@@ -159,6 +161,61 @@ class Environment:
         """The batch entry point: read data at rest into a DataSet
         (alias of :meth:`from_bounded`)."""
         return self.from_bounded(values, name=name)
+
+    # -- hybrid history+stream composition ----------------------------------
+
+    def _hybrid(self, history: Any, stream: Any, *,
+                cutover: Optional[int] = None,
+                timestamp_fn: Optional[Callable[[Any], int]] = None,
+                timestamped: bool = False,
+                history_burst: int = 8,
+                name: str = "hybrid-source") -> "DataStream":
+        """Fuse a bounded history side and a live stream side into one
+        :class:`~repro.plan.graph.CutoverNode` (used by
+        ``DataSet.then_stream`` and ``DataStream.with_history``).
+
+        Each side may be an untransformed :class:`DataSet`/:class:`DataStream`
+        source handle from *this* environment, a replayable factory of
+        iterables, or a plain iterable (materialised once).  Handle nodes
+        are absorbed into the cutover node; their replayable factories
+        come from the :class:`~repro.plan.graph.SourceSpec` the
+        environment stashed at creation time.
+        """
+        from repro.api.stream import DataStream
+        from repro.connectors.sources import HybridSource
+        history_spec, history_p, history_node = _resolve_hybrid_side(
+            self, history, timestamped, "history")
+        stream_spec, stream_p, stream_node = _resolve_hybrid_side(
+            self, stream, timestamped, "stream")
+        if cutover is not None and timestamp_fn is None and not (
+                history_spec.timestamped and stream_spec.timestamped):
+            raise ValueError(
+                "a cutover watermark needs event time: pass timestamp_fn "
+                "or make both sides timestamped")
+        if (history_p is not None and stream_p is not None
+                and history_p != stream_p):
+            raise ValueError(
+                "hybrid sides disagree on parallelism (%d vs %d); "
+                "rescale one source" % (history_p, stream_p))
+        parallelism = history_p or stream_p or self.parallelism
+        history_name = (history_node.name if history_node is not None
+                        else "history")
+        stream_name = (stream_node.name if stream_node is not None
+                       else "stream")
+        for absorbed in (history_node, stream_node):
+            if absorbed is not None:
+                self.graph.remove_node(absorbed.node_id)
+        node = self.graph.new_cutover_node(
+            name,
+            operator_factory=lambda: HybridSource(
+                history_spec.factory, stream_spec.factory,
+                cutover=cutover, timestamp_fn=timestamp_fn,
+                history_timestamped=history_spec.timestamped,
+                stream_timestamped=stream_spec.timestamped,
+                history_burst=history_burst, name=name),
+            parallelism=parallelism, cutover=cutover,
+            history_name=history_name, stream_name=stream_name)
+        return DataStream(self, node)
 
     # -- plumbing used by the fluent API ------------------------------------
 
@@ -231,6 +288,39 @@ class Environment:
         logical = explain_stream_graph(self.graph)
         physical = explain_job_graph(self.build_job_graph())
         return logical + "\n" + physical
+
+
+def _resolve_hybrid_side(env: Environment, side: Any, timestamped: bool,
+                         role: str):
+    """Normalise one side of a hybrid composition.
+
+    Returns ``(source_spec, parallelism_or_None, absorbed_node_or_None)``.
+    DataSet/DataStream handles must be untransformed sources of *this*
+    environment with nobody else consuming them (the cutover node takes
+    their place in the graph).
+    """
+    from repro.api.dataset import DataSet
+    from repro.api.stream import DataStream
+    if isinstance(side, (DataSet, DataStream)):
+        if side.env is not env:
+            raise ValueError(
+                "%s side belongs to a different environment" % role)
+        node = side.node
+        if not node.is_source or node.source_spec is None:
+            raise ValueError(
+                "%s side must be an untransformed source (read/"
+                "from_collection/from_source); apply transformations "
+                "after then_stream/with_history instead" % role)
+        if env.graph.out_edges(node.node_id):
+            raise ValueError(
+                "%s side source %r already feeds other operators; a "
+                "hybrid source absorbs its inputs exclusively"
+                % (role, node.name))
+        return node.source_spec, node.parallelism, node
+    if callable(side):
+        return SourceSpec(side, timestamped), None, None
+    materialised = list(side)
+    return SourceSpec(lambda: materialised, timestamped), None, None
 
 
 class StreamExecutionEnvironment(Environment):

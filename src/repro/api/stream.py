@@ -159,6 +159,25 @@ class DataStream:
 
     # -- sinks ----------------------------------------------------------------------
 
+    def with_history(self, history: Any,
+                     cutover: Optional[int] = None, *,
+                     timestamp_fn: Optional[Callable[[Any], int]] = None,
+                     timestamped: bool = False,
+                     history_burst: int = 8,
+                     name: str = "hybrid-source") -> "DataStream":
+        """Prefix this live stream with a bounded history: the symmetric
+        form of :meth:`~repro.api.dataset.DataSet.then_stream`.
+
+        ``history`` may be a :class:`~repro.api.dataset.DataSet` source
+        handle, a replayable factory of iterables, or a plain iterable.
+        Both this stream's node and the history's node are absorbed into
+        a single cutover source, so call it on an untransformed source.
+        """
+        return self.env._hybrid(history, self, cutover=cutover,
+                                timestamp_fn=timestamp_fn,
+                                timestamped=timestamped,
+                                history_burst=history_burst, name=name)
+
     def collect(self, with_timestamps: bool = False,
                 name: str = "collect") -> "CollectResult":
         """Gather results into a list readable after ``env.execute()``."""

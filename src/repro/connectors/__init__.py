@@ -15,6 +15,7 @@ from repro.connectors.sinks import (
     TransactionalTextFileSink,
 )
 from repro.connectors.sources import (
+    HybridSource,
     csv_records,
     jsonl_records,
     text_file_lines,
@@ -22,6 +23,7 @@ from repro.connectors.sources import (
 )
 
 __all__ = [
+    "HybridSource",
     "PartitionedSource",
     "partition_round_robin",
     "CsvFileSink",

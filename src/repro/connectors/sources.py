@@ -14,6 +14,8 @@ import json
 import os
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
 
+from repro.runtime.operators import OperatorContext, SourceContext, SourceOperator
+
 
 def _require_file(path: str, connector: str) -> None:
     if not os.path.exists(path):
@@ -104,3 +106,293 @@ def throttled(factory: Callable[[], Iterable[Any]],
         for value, ts in zip(factory(), stamped):
             yield (value, ts)
     return paired
+
+
+# ---------------------------------------------------------------------------
+# Hybrid history + stream source
+# ---------------------------------------------------------------------------
+
+_EXHAUSTED = object()
+
+
+class _SliceCursor:
+    """Offset bookkeeping for one side of a :class:`HybridSource`.
+
+    A replayable iterator sliced by ``index % parallelism ==
+    subtask_index`` (the same deterministic ownership rule as
+    ``IteratorSource``), with its own rewind so each side of the cutover
+    replays independently after recovery."""
+
+    __slots__ = ("_factory", "_iterator", "_global_index", "offset")
+
+    def __init__(self, factory: Callable[[], Iterable[Any]]) -> None:
+        self._factory = factory
+        self._iterator: Optional[Iterator[Any]] = None
+        self._global_index = 0
+        #: Elements of *this subtask's slice* already consumed
+        #: (emitted or filtered at the cutover) -- the replay position.
+        self.offset = 0
+
+    def start(self) -> None:
+        self._iterator = iter(self._factory())
+        self._global_index = 0
+        self.offset = 0
+
+    def next_owned(self, parallelism: int, subtask_index: int) -> Any:
+        if self._iterator is None:
+            self.start()
+        while True:
+            try:
+                value = next(self._iterator)
+            except StopIteration:
+                return _EXHAUSTED
+            index = self._global_index
+            self._global_index += 1
+            if index % parallelism == subtask_index:
+                self.offset += 1
+                return value
+
+    def rewind(self, offset: int, parallelism: int,
+               subtask_index: int) -> None:
+        self.start()
+        for _ in range(offset):
+            if self.next_owned(parallelism, subtask_index) is _EXHAUSTED:
+                break
+
+    def mark_consumed(self, offset: int) -> None:
+        """Record a fully-drained side without re-opening its iterator
+        (restoring into the stream phase never re-reads history)."""
+        self._iterator = iter(())
+        self._global_index = 0
+        self.offset = offset
+
+    def reset(self) -> None:
+        """Back to cold: the next ``next_owned`` re-creates the iterator
+        (restoring into the history phase leaves the stream side unread)."""
+        self._iterator = None
+        self._global_index = 0
+        self.offset = 0
+
+
+class HybridSource(SourceOperator):
+    """History then stream as *one* source: the operator behind
+    ``DataSet.then_stream`` and ``DataStream.with_history``.
+
+    The bounded history side drains first -- at an elevated burst
+    (``source_burst_factor``) so the prefix runs through the batched
+    path -- then the operator switches to the live side in place.  Being
+    a single unfinished source across the seam is what keeps barrier
+    checkpoints (and therefore 2PC sinks and crash-restore) flowing over
+    the cutover: the coordinator stops cutting once any source finishes,
+    and this one only finishes when the *stream* side does.
+
+    Cutover semantics:
+
+    * ``cutover=None`` -- plain concatenation.  No seam watermark is
+      emitted (stream records may legitimately carry event times older
+      than the history's maximum); the unified run is element-for-element
+      the single-source run over ``history + stream``.
+    * ``cutover=T`` -- watermark-precise hand-off over possibly
+      *overlapping* inputs: history records with event time ``> T`` and
+      stream records with event time ``<= T`` are dropped (counted in the
+      skip gauges), so every logical record is emitted exactly once; a
+      ``Watermark(T)`` leaves at the seam, firing every window that ends
+      at or before ``T`` from history state alone.  Every surviving
+      stream record has event time ``> T``, so it can neither be late
+      against the seam watermark nor extend a window the seam closed.
+
+    Event time for the cutover filter comes from ``(value, timestamp)``
+    pairs when a side is ``timestamped``, else from ``timestamp_fn``.
+
+    Exactly-once bookkeeping lives in ``snapshot_state``: phase, both
+    replay offsets and the skip/emit counts are part of the barrier cut,
+    so recovery rewinds the correct side of the seam and the gauges stay
+    exact across restarts.
+    """
+
+    def __init__(self, history_factory: Callable[[], Iterable[Any]],
+                 stream_factory: Callable[[], Iterable[Any]], *,
+                 cutover: Optional[int] = None,
+                 timestamp_fn: Optional[Callable[[Any], int]] = None,
+                 history_timestamped: bool = False,
+                 stream_timestamped: bool = False,
+                 history_burst: int = 8,
+                 name: str = "hybrid-source") -> None:
+        super().__init__()
+        if history_burst < 1:
+            raise ValueError("history_burst must be >= 1; got %d"
+                             % history_burst)
+        if (cutover is not None and timestamp_fn is None
+                and not (history_timestamped and stream_timestamped)):
+            raise ValueError(
+                "a watermark-precise cutover needs event time on both "
+                "sides: pass timestamp_fn=..., or use timestamped sources")
+        self.name = name
+        self._history = _SliceCursor(history_factory)
+        self._stream = _SliceCursor(stream_factory)
+        self._cutover = cutover
+        self._timestamp_fn = timestamp_fn
+        self._history_timestamped = history_timestamped
+        self._stream_timestamped = stream_timestamped
+        self._history_burst = history_burst
+        self._phase = "history"
+        self._history_emitted = 0
+        self._stream_emitted = 0
+        self._history_skipped = 0
+        self._stream_skipped = 0
+        self._replayed = 0
+        #: Re-emit the seam watermark lazily after a stream-phase restore
+        #: (downstream watermark progress was reset with the channels).
+        self._cutover_pending = False
+        #: Read by ``Task._step_source``: sources may scale the per-step
+        #: record budget.  Elevated while draining the bounded prefix,
+        #: reset to 1 at the seam so live records flow at stream cadence.
+        self.source_burst_factor = history_burst
+        #: Wired by the task (watermark-emitting chain-operator protocol,
+        #: shared with ``TimestampsAndWatermarksOperator``).
+        self.emit_watermark_fn: Optional[Callable[[int], None]] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        metrics = ctx.metrics
+        self._m_history = metrics.counter("hybrid_history_emitted")
+        self._m_stream = metrics.counter("hybrid_stream_emitted")
+        self._m_history_skipped = metrics.counter("hybrid_history_skipped")
+        self._m_stream_skipped = metrics.counter("hybrid_stream_skipped")
+        self._m_replayed = metrics.counter("hybrid_replayed_records")
+        self._m_cutover = metrics.gauge("hybrid_cutover_watermark")
+
+    # -- emission -------------------------------------------------------
+
+    def _event_time(self, value: Any, record_ts: Optional[int]) -> Optional[int]:
+        if record_ts is not None:
+            return record_ts
+        if self._timestamp_fn is not None:
+            return self._timestamp_fn(value)
+        return None
+
+    def _emit_seam_watermark(self) -> None:
+        self._cutover_pending = False
+        if self._cutover is None:
+            return
+        self._m_cutover.set(self._cutover)
+        if self.emit_watermark_fn is not None:
+            self.emit_watermark_fn(self._cutover)
+
+    def _cross_seam(self) -> None:
+        self._phase = "stream"
+        self.source_burst_factor = 1
+        self._emit_seam_watermark()
+
+    def emit_batch(self, source_ctx: SourceContext, max_records: int) -> bool:
+        ctx = self.ctx
+        assert ctx is not None
+        parallelism = ctx.parallelism
+        subtask = ctx.subtask_index
+        cutover = self._cutover
+        if self._cutover_pending:
+            self._emit_seam_watermark()
+        emitted = 0
+        while emitted < max_records:
+            if self._phase == "history":
+                item = self._history.next_owned(parallelism, subtask)
+                if item is _EXHAUSTED:
+                    self._cross_seam()
+                    continue
+                if self._history_timestamped:
+                    value, record_ts = item
+                else:
+                    value, record_ts = item, None
+                if cutover is not None:
+                    event_ts = self._event_time(value, record_ts)
+                    if event_ts is not None and event_ts > cutover:
+                        self._history_skipped += 1
+                        self._m_history_skipped.inc()
+                        continue
+                if record_ts is not None:
+                    source_ctx.collect_with_timestamp(value, record_ts)
+                else:
+                    source_ctx.collect(value)
+                self._history_emitted += 1
+                self._m_history.inc()
+                emitted += 1
+            else:
+                item = self._stream.next_owned(parallelism, subtask)
+                if item is _EXHAUSTED:
+                    return False
+                if self._stream_timestamped:
+                    value, record_ts = item
+                else:
+                    value, record_ts = item, None
+                if cutover is not None:
+                    event_ts = self._event_time(value, record_ts)
+                    if event_ts is not None and event_ts <= cutover:
+                        self._stream_skipped += 1
+                        self._m_stream_skipped.inc()
+                        continue
+                if record_ts is not None:
+                    source_ctx.collect_with_timestamp(value, record_ts)
+                else:
+                    source_ctx.collect(value)
+                self._stream_emitted += 1
+                self._m_stream.inc()
+                emitted += 1
+        return True
+
+    # -- checkpoints ----------------------------------------------------
+
+    def snapshot_state(self) -> Any:
+        return {
+            "phase": self._phase,
+            "history_offset": self._history.offset,
+            "stream_offset": self._stream.offset,
+            "history_emitted": self._history_emitted,
+            "stream_emitted": self._stream_emitted,
+            "history_skipped": self._history_skipped,
+            "stream_skipped": self._stream_skipped,
+        }
+
+    def restore_state(self, state: Any) -> None:
+        assert self.ctx is not None, "restore before open"
+        parallelism = self.ctx.parallelism
+        subtask = self.ctx.subtask_index
+        consumed_now = self._history.offset + self._stream.offset
+        consumed_then = state["history_offset"] + state["stream_offset"]
+        if consumed_now > consumed_then:
+            # In-process recovery: everything past the restored offsets
+            # will be re-read and re-emitted.
+            self._replayed += consumed_now - consumed_then
+            self._m_replayed.inc(consumed_now - consumed_then)
+        self._phase = state["phase"]
+        self._history_emitted = state["history_emitted"]
+        self._stream_emitted = state["stream_emitted"]
+        self._history_skipped = state["history_skipped"]
+        self._stream_skipped = state["stream_skipped"]
+        if self._phase == "history":
+            self._history.rewind(state["history_offset"], parallelism,
+                                 subtask)
+            self._stream.reset()
+            self.source_burst_factor = self._history_burst
+            self._cutover_pending = False
+        else:
+            self._history.mark_consumed(state["history_offset"])
+            self._stream.rewind(state["stream_offset"], parallelism, subtask)
+            self.source_burst_factor = 1
+            self._cutover_pending = self._cutover is not None
+
+    # -- observability --------------------------------------------------
+
+    def cutover_report(self) -> Dict[str, Any]:
+        """The gauges ``Engine.job_report()`` folds into its ``cutover``
+        section."""
+        return {
+            "phase": self._phase,
+            "cutover": self._cutover,
+            "history_emitted": self._history_emitted,
+            "history_skipped": self._history_skipped,
+            "stream_emitted": self._stream_emitted,
+            "stream_skipped": self._stream_skipped,
+            "replayed_records": self._replayed,
+        }

@@ -4,13 +4,20 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.plan.graph import JobGraph, StreamGraph
+from repro.plan.graph import CutoverNode, JobGraph, StreamGraph
 
 
 def explain_stream_graph(graph: StreamGraph) -> str:
     lines: List[str] = ["== Logical plan (StreamGraph) =="]
     for node in graph.topological_order():
-        role = " [source]" if node.is_source else (" [sink]" if node.is_sink else "")
+        if isinstance(node, CutoverNode):
+            seam = ("cutover@%d" % node.cutover
+                    if node.cutover is not None else "cutover=concat")
+            role = " [source, %s: %s -> %s]" % (seam, node.history_name,
+                                                node.stream_name)
+        else:
+            role = (" [source]" if node.is_source
+                    else (" [sink]" if node.is_sink else ""))
         lines.append("  (%d) %s, parallelism=%d%s"
                      % (node.node_id, node.name, node.parallelism, role))
         for edge in graph.out_edges(node.node_id):

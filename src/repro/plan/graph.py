@@ -17,6 +17,25 @@ from repro.runtime.partition import Partitioner
 OperatorFactory = Callable[[], Any]
 
 
+class SourceSpec:
+    """How a source node's data is (re)created.
+
+    Stashed on source :class:`StreamNode`\\ s by the environment so
+    hybrid composition (``DataSet.then_stream`` /
+    ``DataStream.with_history``) can lift the replayable factory out of
+    the source node it replaces with a :class:`CutoverNode`."""
+
+    __slots__ = ("factory", "timestamped")
+
+    def __init__(self, factory: Callable[[], Any],
+                 timestamped: bool = False) -> None:
+        self.factory = factory
+        self.timestamped = timestamped
+
+    def __repr__(self) -> str:
+        return "SourceSpec(timestamped=%r)" % self.timestamped
+
+
 class StreamNode:
     """One logical operator in the user's program."""
 
@@ -35,10 +54,40 @@ class StreamNode:
         self.is_source = is_source
         self.is_sink = is_sink
         self.allow_chaining = allow_chaining
+        #: Set by the environment on replayable source nodes; hybrid
+        #: composition requires it to lift the factory (see SourceSpec).
+        self.source_spec: Optional[SourceSpec] = None
 
     def __repr__(self) -> str:
         return "StreamNode(%d, %r, p=%d)" % (self.node_id, self.name,
                                              self.parallelism)
+
+
+class CutoverNode(StreamNode):
+    """A source node fusing a bounded history prefix and a live stream.
+
+    Placed by ``then_stream``/``with_history`` in place of the two
+    source nodes it absorbs; carries the cutover metadata the optimizer
+    validates and ``env.explain()`` renders.  Physically it is an
+    ordinary source (the :class:`~repro.connectors.sources.HybridSource`
+    operator), so chaining fuses downstream operators into it exactly
+    like any other source."""
+
+    def __init__(self, node_id: int, name: str,
+                 operator_factory: OperatorFactory,
+                 parallelism: int,
+                 cutover: Optional[int],
+                 history_name: str,
+                 stream_name: str) -> None:
+        super().__init__(node_id, name, operator_factory, parallelism,
+                         is_source=True)
+        self.cutover = cutover
+        self.history_name = history_name
+        self.stream_name = stream_name
+
+    def __repr__(self) -> str:
+        return "CutoverNode(%d, %r, p=%d, cutover=%r)" % (
+            self.node_id, self.name, self.parallelism, self.cutover)
 
 
 class StreamEdge:
@@ -85,6 +134,35 @@ class StreamGraph:
                           allow_chaining=allow_chaining)
         self._nodes[node.node_id] = node
         self._next_id += 1
+        return node
+
+    def new_cutover_node(self, name: str, operator_factory: OperatorFactory,
+                         parallelism: int, cutover: Optional[int],
+                         history_name: str,
+                         stream_name: str) -> CutoverNode:
+        """Allocate a :class:`CutoverNode` (hybrid history+stream
+        source) with the next node id."""
+        node = CutoverNode(self._next_id, name, operator_factory,
+                           parallelism, cutover=cutover,
+                           history_name=history_name,
+                           stream_name=stream_name)
+        self._nodes[node.node_id] = node
+        self._next_id += 1
+        return node
+
+    def remove_node(self, node_id: int) -> StreamNode:
+        """Remove one node and its incident edges.
+
+        Used when hybrid composition replaces two source nodes with a
+        single :class:`CutoverNode`; removing a node that other
+        operators already consume would orphan them, so callers must
+        check out-edges first."""
+        if node_id not in self._nodes:
+            raise GraphValidationError("unknown node %d" % node_id)
+        node = self._nodes.pop(node_id)
+        self._edges = [edge for edge in self._edges
+                       if edge.source_id != node_id
+                       and edge.target_id != node_id]
         return node
 
     def add_edge(self, source_id: int, target_id: int,

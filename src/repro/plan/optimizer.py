@@ -20,7 +20,26 @@ from __future__ import annotations
 from typing import List, Set
 
 from repro.plan.chaining import build_job_graph
-from repro.plan.graph import JobGraph, StreamGraph
+from repro.plan.graph import (
+    CutoverNode,
+    GraphValidationError,
+    JobGraph,
+    StreamGraph,
+)
+
+
+def validate_cutover_placement(graph: StreamGraph) -> None:
+    """Cutover nodes must *be* the source: a hybrid history+stream
+    hand-off downstream of other operators has no offsets to replay, so
+    the planner rejects it instead of silently losing exactly-once."""
+    for node in graph.nodes.values():
+        if not isinstance(node, CutoverNode):
+            continue
+        if not node.is_source or graph.in_edges(node.node_id):
+            raise GraphValidationError(
+                "cutover node %r must be a source with no inputs "
+                "(compose then_stream/with_history on untransformed "
+                "sources)" % node.name)
 
 
 def reachable_to_sinks(graph: StreamGraph) -> Set[int]:
@@ -56,6 +75,8 @@ def eliminate_dead_branches(graph: StreamGraph) -> List[str]:
 
 
 def optimize(graph: StreamGraph, chaining: bool = True) -> JobGraph:
-    """The full pipeline: dead-branch elimination, then chaining."""
+    """The full pipeline: cutover placement validation, dead-branch
+    elimination, then chaining."""
+    validate_cutover_placement(graph)
     eliminate_dead_branches(graph)
     return build_job_graph(graph, chaining=chaining)

@@ -335,8 +335,14 @@ class Engine:
         self.clock = ManualClock()
         self.tasks: List[Task] = []
         self._tasks_by_vertex: Dict[int, List[Task]] = {}
-        self.checkpoint_store = CheckpointStore(
-            self.config.max_retained_checkpoints)
+        if self.config.checkpoint_dir is not None:
+            from repro.state.durable import DurableCheckpointStore
+            self.checkpoint_store: CheckpointStore = DurableCheckpointStore(
+                self.config.checkpoint_dir,
+                self.config.max_retained_checkpoints)
+        else:
+            self.checkpoint_store = CheckpointStore(
+                self.config.max_retained_checkpoints)
         self._pending_checkpoint: Optional[PendingCheckpoint] = None
         self._next_checkpoint_id = 1
         self._next_checkpoint_time: Optional[int] = (
@@ -921,6 +927,18 @@ class Engine:
             "checkpoints": checkpoints,
             "cutty": collect_cutty_stats(self),
         }
+
+        cutover = []
+        for task in self.tasks:
+            head = task.chain[0].operator
+            report_fn = getattr(head, "cutover_report", None)
+            if callable(report_fn):
+                row = {"operator": task.vertex_name,
+                       "subtask": task.subtask_index}
+                row.update(report_fn())
+                cutover.append(row)
+        if cutover:
+            sections["cutover"] = cutover
 
         if obs is not None:
             skew = obs.registry.gauge("watermark_skew_ms")

@@ -1299,6 +1299,12 @@ class MultiprocessEngine:
                      "records_emitted", 0)}
                 for index, ws in enumerate(self._worker_sections)],
         }
+        cutover: List[Dict[str, Any]] = []
+        for worker_sections in self._worker_sections:
+            cutover.extend(worker_sections.get("cutover", []))
+        if cutover:
+            cutover.sort(key=lambda row: (row["operator"], row["subtask"]))
+            sections["cutover"] = cutover
         fleet: Dict[str, Any] = {
             "shutdown": {"terminated": self._workers_terminated,
                          "killed": self._workers_killed},

@@ -42,7 +42,6 @@ from repro.runtime.operators import (
     OperatorContext,
     SourceContext,
     SourceOperator,
-    TimestampsAndWatermarksOperator,
 )
 from repro.runtime.partition import (
     BroadcastPartitioner,
@@ -248,7 +247,11 @@ class Task:
             ctx.tracer = tracer
             chained = _ChainedOperator(operator, backend, timers, ctx)
             self.chain.insert(0, chained)
-            if isinstance(operator, TimestampsAndWatermarksOperator):
+            # Watermark-emitting chain operators (timestamp assigners,
+            # hybrid sources emitting the cutover watermark) declare an
+            # ``emit_watermark_fn`` attribute; the task wires it to the
+            # chain position so emissions advance the suffix first.
+            if hasattr(operator, "emit_watermark_fn"):
                 operator.emit_watermark_fn = self._watermark_from_chain(position)
             collector = self._make_dispatcher(chained)
 
@@ -482,8 +485,14 @@ class Task:
             self._snapshot_and_ack(checkpoint_id)
             self._broadcast(CheckpointBarrier(checkpoint_id))
             return True
-        more = self.chain[0].operator.emit_batch(self._source_ctx,
-                                                 self.elements_per_step)
+        operator = self.chain[0].operator
+        # Sources may scale the per-step record budget: a hybrid source
+        # drains its bounded history prefix at an elevated burst so the
+        # data-at-rest phase runs through the batched path at batch
+        # cadence, then drops back to 1 at the cutover.
+        burst = getattr(operator, "source_burst_factor", 1)
+        more = operator.emit_batch(self._source_ctx,
+                                   self.elements_per_step * max(1, burst))
         if not more:
             self._finish_task()
         return True

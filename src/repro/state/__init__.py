@@ -13,6 +13,7 @@ from repro.state.durable import (
     DurableCheckpointStore,
 )
 from repro.state.savepoint import OperatorSnapshot, Savepoint
+from repro.state.timetravel import TimeTravelError, savepoint_from_checkpoint
 from repro.state.descriptors import (
     AggregatingState,
     AggregatingStateDescriptor,
@@ -37,6 +38,8 @@ __all__ = [
     "DurableCheckpointStore",
     "PendingCheckpoint",
     "TaskSnapshot",
+    "TimeTravelError",
+    "savepoint_from_checkpoint",
     "AggregatingState",
     "AggregatingStateDescriptor",
     "ListState",

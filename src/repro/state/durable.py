@@ -119,19 +119,24 @@ class DurableCheckpointStore(CheckpointStore):
     The directory is job-scoped: constructing a store wipes stale
     ``chk-*`` entries left by a previous job, because restoring another
     job's operator state would be silent corruption of the worst kind.
+    ``fresh=False`` attaches to the directory *without* wiping -- the
+    time-travel reader (:mod:`repro.state.timetravel`) uses it to load
+    checkpoints a dead process left behind.
     """
 
-    def __init__(self, directory: str, max_retained: int = 3) -> None:
+    def __init__(self, directory: str, max_retained: int = 3,
+                 fresh: bool = True) -> None:
         super().__init__(max_retained)
         self.directory = directory
         self.checkpoints_persisted = 0
         self.corruptions_detected = 0
         self.restore_fallbacks = 0
         os.makedirs(directory, exist_ok=True)
-        for name in os.listdir(directory):
-            if name.startswith(_DIR_PREFIX):
-                shutil.rmtree(os.path.join(directory, name),
-                              ignore_errors=True)
+        if fresh:
+            for name in os.listdir(directory):
+                if name.startswith(_DIR_PREFIX):
+                    shutil.rmtree(os.path.join(directory, name),
+                                  ignore_errors=True)
 
     # -- persistence --------------------------------------------------------
 

@@ -1,0 +1,97 @@
+"""Time-travel restore: turn a durably persisted checkpoint into a
+:class:`~repro.state.savepoint.Savepoint` without a live engine.
+
+A :class:`~repro.state.durable.DurableCheckpointStore` outlives the
+process that wrote it; :func:`savepoint_from_checkpoint` re-reads a
+verified checkpoint from disk and repackages its per-vertex task
+snapshots as per-operator savepoint state, so a *fresh* execution of the
+same program can resume from any retained point in time::
+
+    savepoint = savepoint_from_checkpoint("/ckpts", env)   # latest
+    savepoint = savepoint_from_checkpoint("/ckpts", env, checkpoint_id=7)
+    new_env.execute(from_savepoint=savepoint)
+
+This is what makes hybrid history+stream jobs restartable across
+process death: the :class:`~repro.connectors.sources.HybridSource`
+offsets (which side of the cutover to replay, and from where) live in
+the checkpointed operator state like any other source offsets.
+
+The program handed in must be the *same* program (same operator names
+and chaining) that wrote the checkpoint; vertex layout is recomputed
+from its job graph to map chain positions back to operator names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.state.durable import DurableCheckpointStore
+from repro.state.savepoint import OperatorSnapshot, Savepoint
+
+
+class TimeTravelError(Exception):
+    """The requested checkpoint cannot be repackaged as a savepoint."""
+
+
+def _resolve_job_graph(program):
+    """Accept an Environment (preferred) or an already-built JobGraph."""
+    build = getattr(program, "build_job_graph", None)
+    if callable(build):
+        return build()
+    if hasattr(program, "vertices"):
+        return program
+    raise TimeTravelError(
+        "program must be an Environment or a JobGraph; got %r"
+        % type(program).__name__)
+
+
+def savepoint_from_checkpoint(checkpoint_dir: str, program,
+                              checkpoint_id: Optional[int] = None,
+                              ) -> Savepoint:
+    """Load a durable checkpoint from ``checkpoint_dir`` and repackage
+    it as a :class:`Savepoint` for ``program``.
+
+    ``checkpoint_id`` selects a specific retained checkpoint (see
+    :meth:`DurableCheckpointStore.persisted_ids`); by default the latest
+    verified one is used.  Raises :class:`TimeTravelError` when no
+    verified checkpoint exists or the checkpoint does not cover the
+    program's subtasks.
+    """
+    job_graph = _resolve_job_graph(program)
+    store = DurableCheckpointStore(checkpoint_dir, fresh=False)
+    if checkpoint_id is not None:
+        completed = store.load_verified(checkpoint_id)
+    else:
+        completed = store.load_latest_verified()
+        if completed is None:
+            raise TimeTravelError(
+                "no verified checkpoint in %r" % checkpoint_dir)
+
+    all_names = [name for vertex in job_graph.vertices.values()
+                 for name in vertex.names]
+    duplicates = {name for name in all_names if all_names.count(name) > 1}
+    if duplicates:
+        raise TimeTravelError(
+            "time-travel restore needs unique operator names; "
+            "duplicated: %r (pass name=... to the fluent API)"
+            % sorted(duplicates))
+
+    operators: Dict[str, List[OperatorSnapshot]] = {}
+    for vertex_id in sorted(job_graph.vertices):
+        vertex = job_graph.vertices[vertex_id]
+        for index in range(vertex.parallelism):
+            subtask_id = ("%d-%s" % (vertex_id, vertex.name), index)
+            snapshot = completed.snapshot_for(subtask_id)
+            if snapshot is None:
+                raise TimeTravelError(
+                    "checkpoint %d lacks a snapshot for %r -- was it "
+                    "written by a different program or parallelism?"
+                    % (completed.checkpoint_id, subtask_id))
+            for position, name in enumerate(vertex.names):
+                key = str(position)
+                operators.setdefault(name, []).append(OperatorSnapshot(
+                    index,
+                    snapshot.keyed_state.get(key, {}),
+                    snapshot.operator_state.get(key),
+                    snapshot.timers.get(key, {})))
+    return Savepoint(operators, completed.checkpoint_id)

@@ -21,7 +21,16 @@ Each oracle owns one equivalence claim of the system:
                       boundary;
 * ``replay``       -- determinism under failure: a job crash-restored
                       mid-stream from its latest checkpoint produces the
-                      same output set as the uninterrupted run.
+                      same output set as the uninterrupted run;
+* ``backfill``     -- the unified history->stream path
+                      (``DataSet.then_stream``): executing a bounded
+                      history prefix and resuming against the live
+                      remainder -- at randomized cutover offsets, with
+                      and without a watermark-precise cutover -- equals
+                      the brute-force recompute over the concatenated
+                      record set, with the engine's cutover report
+                      accounting for every record (zero seam gaps, zero
+                      double-counts).
 
 An oracle turns an RNG into a :class:`Case` (JSON-able params + a plain
 list-of-tuples stream) and turns a case into either ``None`` (pass) or a
@@ -535,6 +544,161 @@ class ReplayOracle(Oracle):
                    params["assigner"], params["ooo_bound"]))
 
 
+# -- hybrid history+stream backfill ------------------------------------------
+
+def run_hybrid_windows(history: List[tuple], live: List[tuple],
+                       cutover: Optional[int],
+                       assigner_params: Dict[str, Any],
+                       aggregate_name: str, ooo_bound: int,
+                       parallelism: int = 2,
+                       config: Optional[EngineConfig] = None,
+                       history_burst: int = 4,
+                       ) -> Tuple[Dict[Tuple[Any, int, int], Any], Any]:
+    """One unified history->stream window job via ``then_stream``;
+    returns (results dict, Environment) -- the environment so callers
+    can read the cutover section of the job report."""
+    env = Environment(parallelism=parallelism,
+                      config=config or EngineConfig())
+    strategy = WatermarkStrategy.for_bounded_out_of_orderness(
+        lambda element: element[2], ooo_bound + 2)
+    collected = (env.read(history)
+                 .then_stream(lambda: live, cutover=cutover,
+                              timestamp_fn=lambda element: element[2],
+                              history_burst=history_burst)
+                 .assign_timestamps_and_watermarks(strategy)
+                 .key_by(lambda element: element[0])
+                 .window(make_assigner(assigner_params))
+                 .aggregate(_ValueProjectingAggregate(
+                     make_aggregate(aggregate_name)))
+                 .collect())
+    env.execute()
+    return _window_results_to_dict(collected.get()), env
+
+
+def split_for_backfill(elements: List[tuple], mode: str,
+                       cutover_fraction: float, overlap: int,
+                       ) -> Tuple[List[tuple], List[tuple], Optional[int]]:
+    """Split one generated stream into (history, live, cutover).
+
+    ``concat`` mode cuts at an arrival-order index and uses no cutover
+    watermark.  ``watermark`` mode partitions by event time at the
+    fraction-quantile timestamp ``T`` and then *misplaces* ``overlap``
+    records onto each wrong side -- those must be filtered (and counted)
+    by the cutover discipline, proving the seam neither loses nor
+    double-counts records.
+    """
+    if mode == "concat":
+        split = int(len(elements) * cutover_fraction)
+        return list(elements[:split]), list(elements[split:]), None
+    if not elements:
+        return [], [], 0
+    stamps = sorted(element[2] for element in elements)
+    position = min(len(stamps) - 1,
+                   int(len(stamps) * cutover_fraction))
+    cutover = stamps[position]
+    history_core = [e for e in elements if e[2] <= cutover]
+    live_core = [e for e in elements if e[2] > cutover]
+    k = min(overlap, len(history_core), len(live_core))
+    history = history_core + live_core[:k]      # k records to be skipped
+    live = history_core[len(history_core) - k:] + live_core
+    return history, live, cutover
+
+
+class BackfillOracle(Oracle):
+    """The unified history->stream path == brute-force recompute over
+    the concatenated record set, at randomized cutover offsets.
+
+    Two seam disciplines are exercised: pure concatenation (``concat``)
+    and a watermark-precise cutover (``watermark``) where records
+    deliberately misplaced across the seam must be dropped exactly once
+    each.  Besides the window-result diff, the engine's cutover report
+    is audited for zero gap / zero double-count: emitted + skipped must
+    account for every input record.
+    """
+
+    name = "backfill"
+
+    def generate(self, rng: random.Random, root_seed: int,
+                 index: int) -> Case:
+        profile = StreamProfile.random(rng, max_elements=100)
+        params = {
+            "assigner": random_assigner_params(rng),
+            "aggregate": random_aggregate_name(rng, ("sum", "count", "min",
+                                                     "max")),
+            "ooo_bound": profile.ooo_bound,
+            "parallelism": rng.choice([1, 2]),
+            "cutover_fraction": rng.choice([0.0, 0.1, 0.25, 0.5,
+                                            0.75, 0.9, 1.0]),
+            "mode": rng.choice(["concat", "watermark"]),
+            "overlap": rng.randint(0, 3),
+            "history_burst": rng.choice([1, 2, 8]),
+        }
+        if params["assigner"]["kind"] == "session":
+            stream = generate_gap_pattern_elements(
+                rng, params["assigner"]["gap"], n=profile.num_elements,
+                num_keys=profile.num_keys, ooo_bound=profile.ooo_bound)
+        else:
+            stream = generate_elements(rng, profile)
+        return Case(self.name, root_seed, index, params, stream)
+
+    def check(self, case: Case) -> Optional[str]:
+        params = case.params
+        elements = list(case.stream)
+        history, live, cutover = split_for_backfill(
+            elements, params["mode"], params["cutover_fraction"],
+            params["overlap"])
+        expected = reference.keyed_windows(params["assigner"], elements,
+                                           params["aggregate"])
+        backend = params.get("backend", "cooperative")
+        config = EngineConfig(backend=backend) \
+            if backend != "cooperative" else EngineConfig()
+        got, env = run_hybrid_windows(
+            history, live, cutover, params["assigner"],
+            params["aggregate"], params["ooo_bound"],
+            params["parallelism"], config,
+            history_burst=params.get("history_burst", 4))
+        mismatch = _diff(expected, got, "unified backfill")
+        if mismatch is not None:
+            return ("%s\n  mode=%s cutover=%r |history|=%d |live|=%d"
+                    % (mismatch, params["mode"], cutover, len(history),
+                       len(live)))
+        audit = self._audit_seam(env, elements, history, live, cutover)
+        if audit is not None:
+            return ("%s\n  mode=%s cutover=%r |history|=%d |live|=%d"
+                    % (audit, params["mode"], cutover, len(history),
+                       len(live)))
+        return None
+
+    @staticmethod
+    def _audit_seam(env, elements: List[tuple], history: List[tuple],
+                    live: List[tuple],
+                    cutover: Optional[int]) -> Optional[str]:
+        """Zero gap / zero double-count: the cutover report must account
+        for every record on both sides of the seam."""
+        rows = env.job_report().get("cutover") or []
+        if not rows:
+            return "job report has no cutover section"
+        emitted = sum(row["history_emitted"] + row["stream_emitted"]
+                      for row in rows)
+        history_seen = sum(row["history_emitted"] + row["history_skipped"]
+                           for row in rows)
+        stream_seen = sum(row["stream_emitted"] + row["stream_skipped"]
+                          for row in rows)
+        if emitted != len(elements):
+            return ("seam gap/double-count: %d records emitted across the "
+                    "cutover, input had %d" % (emitted, len(elements)))
+        if history_seen != len(history) or stream_seen != len(live):
+            return ("cutover report does not cover both sides: history "
+                    "%d/%d, stream %d/%d" % (history_seen, len(history),
+                                             stream_seen, len(live)))
+        if cutover is not None:
+            for row in rows:
+                if row["cutover"] != cutover:
+                    return ("cutover watermark not reported: %r != %r"
+                            % (row["cutover"], cutover))
+        return None
+
+
 # -- registry ----------------------------------------------------------------
 
 ORACLE_FACTORIES: Dict[str, Callable[..., Oracle]] = {
@@ -543,6 +707,7 @@ ORACLE_FACTORIES: Dict[str, Callable[..., Oracle]] = {
     WindowedEquivalenceOracle.name: WindowedEquivalenceOracle,
     SessionMergeOracle.name: SessionMergeOracle,
     ReplayOracle.name: ReplayOracle,
+    BackfillOracle.name: BackfillOracle,
 }
 
 DEFAULT_ORACLE_NAMES = tuple(ORACLE_FACTORIES)

@@ -1,0 +1,229 @@
+"""Crash-replay across the history->stream seam.
+
+The exactly-once claim of ISSUE 7's tentpole: a hybrid job killed
+*during the history phase*, *at the cutover barrier*, or *after the
+cutover* must restore the correct side of the seam and produce 2PC sink
+output byte-identical to the unfaulted run -- on the cooperative backend
+(deterministic in-process crashes via failure hooks that watch the
+hybrid source's phase) and on the multiprocess backend (real SIGKILL via
+the OS-level chaos injector, phase targeted by throttling one side of
+the seam).
+
+Determinism note (same trick as ``test_process_chaos.py``): ``KEYS`` is
+even and ``N`` is even, so with parallelism 2 every key's records come
+from exactly one source subtask on *both* sides of the seam (slice
+ownership is ``index % parallelism``, and value parity == index parity
+on each side).  Per-key arrival order -- and with it every running fold
+total -- is then deterministic across attempts and restores, which is
+what lets these tests demand byte-identical output instead of a weaker
+final-state check.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.api.environment import Environment
+from repro.connectors.sinks import TransactionalTextFileSink
+from repro.runtime.engine import EngineConfig
+from repro.runtime.faults import (
+    KILL_WORKER,
+    ProcessChaosInjector,
+    ProcessFaultEvent,
+)
+from repro.runtime.restart import FixedDelayRestart
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+N = 600          # records per side; even (see determinism note)
+KEYS = 14
+
+
+def _hybrid_ops(engine):
+    return [task.chain[0].operator for task in engine.tasks
+            if callable(getattr(task.chain[0].operator,
+                                "cutover_report", None))]
+
+
+def _phase_crash_hook(phase_predicate, min_checkpoints=1):
+    """Crash once, on the first round where the hybrid source satisfies
+    ``phase_predicate`` and at least ``min_checkpoints`` checkpoints
+    completed (so recovery restores rather than restarts)."""
+    state = {"fired": False}
+
+    def hook(engine, rounds):
+        if state["fired"] or len(engine.checkpoint_store) < min_checkpoints:
+            return False
+        ops = _hybrid_ops(engine)
+        if ops and phase_predicate(ops):
+            state["fired"] = True
+            return True
+        return False
+
+    hook.state = state
+    return hook
+
+
+def _in_history(ops):
+    """Mid-history: every subtask still draining, some records emitted."""
+    return (all(op._phase == "history" for op in ops)
+            and sum(op._history_emitted for op in ops) >= N // 4)
+
+
+def _at_barrier(ops):
+    """At the cutover: some subtask crossed the seam (its watermark and
+    first stream records are in flight, not yet checkpointed)."""
+    return any(op._phase == "stream" for op in ops)
+
+
+def _after_cutover(ops):
+    """Well past the seam: every subtask streaming, half the live side
+    already emitted."""
+    return (all(op._phase == "stream" for op in ops)
+            and sum(op._stream_emitted for op in ops) >= N // 2)
+
+
+def _build_job(env, target, history_burst=1):
+    (env.read(range(N))
+        .then_stream(lambda: range(N, 2 * N), history_burst=history_burst,
+                     name="hybrid")
+        .key_by(lambda v: v % KEYS)
+        .fold(0, lambda acc, value: acc + value)
+        .add_sink(TransactionalTextFileSink(
+            target, formatter=lambda pair: "%d:%d" % pair)))
+
+
+def _run_cooperative(tmp_path, label, failure_hook=None):
+    target = str(tmp_path / ("%s.txt" % label))
+    config = EngineConfig(checkpoint_interval_ms=5, elements_per_step=4,
+                          failure_hook=failure_hook)
+    env = Environment(parallelism=2, config=config)
+    _build_job(env, target)
+    job = env.execute()
+    with open(target) as handle:
+        lines = sorted(line.rstrip("\n") for line in handle)
+    return lines, job, env
+
+
+@pytest.mark.parametrize("label, predicate", [
+    ("history", _in_history),
+    ("barrier", _at_barrier),
+    ("after", _after_cutover),
+])
+def test_cooperative_crash_at_seam_phase(tmp_path, label, predicate):
+    expected, _, _ = _run_cooperative(tmp_path, "oracle")
+    hook = _phase_crash_hook(predicate)
+    lines, job, env = _run_cooperative(tmp_path, label, failure_hook=hook)
+
+    assert hook.state["fired"], "the %s-phase crash never fired" % label
+    assert job.recoveries >= 1
+    assert lines == expected, "2PC output diverged after %s crash" % label
+    rows = env.job_report()["cutover"]
+    assert sum(r["history_emitted"] + r["stream_emitted"]
+               for r in rows) == 2 * N
+    if label == "history":
+        # the crash predated the seam; the restore rewound the history
+        # side and the job still crossed exactly once
+        assert all(r["phase"] == "stream" for r in rows)
+
+
+def test_cooperative_double_crash_both_sides_of_seam(tmp_path):
+    """One crash during history AND one after the cutover, in the same
+    run: each restore must replay the correct side."""
+    expected, _, _ = _run_cooperative(tmp_path, "oracle")
+    first = _phase_crash_hook(_in_history)
+    second = _phase_crash_hook(_after_cutover, min_checkpoints=2)
+
+    def hook(engine, rounds):
+        return first(engine, rounds) or second(engine, rounds)
+
+    lines, job, _ = _run_cooperative(tmp_path, "double", failure_hook=hook)
+    assert first.state["fired"] and second.state["fired"]
+    assert job.recoveries >= 2
+    assert lines == expected
+
+
+# -- multiprocess: real SIGKILL ----------------------------------------------
+
+def _throttle_history(value):
+    """Slow the history side so a wall-clock kill lands mid-history;
+    both parities sleep so both source subtasks stay live."""
+    if value < N:
+        time.sleep(0.002)
+    return value
+
+
+def _throttle_live(value):
+    """Slow the live side so the kill lands after the cutover."""
+    if value >= N:
+        time.sleep(0.002)
+    return value
+
+
+def _throttle_seam(value):
+    """Slow only the records around the seam so the kill lands at the
+    cutover barrier.  The window is sized so each worker spends ~400ms
+    inside it (80 records x 5ms): the 300ms kill then lands solidly
+    mid-seam instead of racing job completion on a fast run."""
+    if N - 80 <= value < N + 80:
+        time.sleep(0.005)
+    return value
+
+
+def _run_multiprocess(tmp_path, label, throttle, schedule=None, seed=0):
+    target = str(tmp_path / ("%s.txt" % label))
+    kwargs = dict(checkpoint_interval_ms=40,
+                  checkpoint_dir=str(tmp_path / ("chk-%s" % label)),
+                  restart_strategy=FixedDelayRestart(max_restarts=10,
+                                                     delay_ms=0),
+                  heartbeat_interval_ms=20,
+                  # wide enough that a throttled-but-alive worker is
+                  # never falsely declared dead (see docs/backfill.md on
+                  # history_burst lengthening scheduler steps)
+                  watchdog_suspect_ms=250, watchdog_fail_ms=1200)
+    if schedule is not None:
+        kwargs.update(backend="multiprocess", num_workers=2,
+                      process_chaos=ProcessChaosInjector(schedule,
+                                                         seed=seed))
+    config = EngineConfig(**kwargs)
+    env = Environment(parallelism=2, config=config)
+    # burst 1: the throttle sleeps inside the fused source step, and an
+    # elevated burst would multiply per-step wall time past heartbeat
+    # deadlines (the cooperative tests cover elevated bursts)
+    (env.read(range(N))
+        .then_stream(lambda: range(N, 2 * N), history_burst=1,
+                     name="hybrid")
+        .map(throttle, name="throttle")
+        .key_by(lambda v: v % KEYS)
+        .fold(0, lambda acc, value: acc + value)
+        .add_sink(TransactionalTextFileSink(
+            target, formatter=lambda pair: "%d:%d" % pair)))
+    job = env.execute()
+    with open(target) as handle:
+        lines = sorted(line.rstrip("\n") for line in handle)
+    return lines, job, env, config
+
+
+@pytest.mark.skipif(not HAS_FORK,
+                    reason="multiprocess backend requires fork")
+@pytest.mark.parametrize("label, throttle", [
+    ("history", _throttle_history),
+    ("barrier", _throttle_seam),
+    ("after", _throttle_live),
+])
+def test_multiprocess_sigkill_at_seam_phase(tmp_path, label, throttle):
+    expected, _, _, _ = _run_multiprocess(tmp_path, "oracle-%s" % label,
+                                          throttle)
+    schedule = [ProcessFaultEvent(300, KILL_WORKER, target=0)]
+    lines, job, env, config = _run_multiprocess(
+        tmp_path, label, throttle, schedule=schedule)
+
+    assert config.process_chaos.applied, "the kill never fired"
+    assert job.restarts >= 1
+    assert lines == expected, "2PC output diverged (%s kill)" % label
+    rows = env.job_report()["cutover"]
+    assert sum(r["history_emitted"] + r["stream_emitted"]
+               for r in rows) == 2 * N
+    leaked = [p for p in multiprocessing.active_children() if p.is_alive()]
+    assert not leaked, "worker processes leaked: %r" % leaked
