@@ -118,11 +118,12 @@ def _run_mp_chaos_job(config, target):
         return sorted(line.rstrip("\n") for line in handle), job
 
 
-def run_process_chaos_battery(seeds, workdir):
+def run_process_chaos_battery(seeds, workdir, exchange="shm", batch_size=1):
     """The acceptance battery: for every seed, a randomized
     SIGKILL/SIGSTOP schedule against the multiprocess fleet with durable
     checkpoints and a 2PC sink -- output must equal the unfaulted
-    cooperative run exactly."""
+    cooperative run exactly.  ``exchange``/``batch_size`` select the
+    worker transport under fire (columnar shm rings vs pickle pipes)."""
     import os
 
     from repro.runtime.faults import ProcessChaosInjector
@@ -136,6 +137,7 @@ def run_process_chaos_battery(seeds, workdir):
                                                first_ms=150, last_ms=550)
         config = EngineConfig(
             backend="multiprocess", num_workers=2,
+            exchange=exchange, batch_size=batch_size,
             checkpoint_interval_ms=40,
             checkpoint_dir=os.path.join(workdir, "chk-%d" % seed),
             heartbeat_interval_ms=20,
@@ -190,6 +192,13 @@ def main(argv=None):
                         choices=("cooperative", "multiprocess"))
     parser.add_argument("--seeds", type=int, default=20,
                         help="number of chaos seeds to sweep (1..N)")
+    parser.add_argument("--exchange", default="shm",
+                        choices=("pipe", "shm"),
+                        help="worker data transport under fire "
+                             "(default: columnar shm rings)")
+    parser.add_argument("--batch-size", type=int, default=1,
+                        help="record batch size; >1 puts columnar "
+                             "frames on the rings mid-kill")
     args = parser.parse_args(argv)
 
     if args.backend == "cooperative":
@@ -206,11 +215,12 @@ def main(argv=None):
         return 0
     with tempfile.TemporaryDirectory(prefix="e13-chaos-") as workdir:
         rows, failures = run_process_chaos_battery(
-            range(1, args.seeds + 1), workdir)
+            range(1, args.seeds + 1), workdir,
+            exchange=args.exchange, batch_size=args.batch_size)
     print(format_table(
         ["seed", "faults fired", "restarts", "parity"], rows,
         title="E13: OS-level chaos battery, multiprocess backend, "
-              "%d seeds" % args.seeds))
+              "%d seeds, exchange=%s" % (args.seeds, args.exchange)))
     if failures:
         print("FAIL: %d of %d seeds diverged from the unfaulted run"
               % (failures, args.seeds))

@@ -43,11 +43,18 @@ TOLERANCE = 0.25
 
 def run_benches(observability=False):
     """Fresh payloads for both experiments (no files written)."""
+    import multiprocessing
+
     import bench_e2_multiquery
     import bench_e5_throughput
 
     e5 = bench_e5_throughput.run_batched_vs_scalar(
         observability=observability)
+    # The exchange-transport ratio rides in the same committed payload
+    # (it is machine-portable for the same reason the batched/scalar
+    # ratio is); skipped where the multiprocess backend cannot run.
+    if "fork" in multiprocessing.get_all_start_methods():
+        e5["exchange"] = bench_e5_throughput.run_exchange_comparison()
     e2, _ = bench_e2_multiquery.build_payload()
     return e5, e2
 
@@ -104,6 +111,20 @@ def check_baseline(e5, e2) -> List[str]:
             problems.append(
                 "e5 batched/scalar speedup regressed: %.2fx < %.2fx "
                 "(baseline %.2fx - 25%%)" % (fresh, floor, committed))
+        baseline_exchange = baseline_e5.get("exchange")
+        fresh_exchange = e5.get("exchange")
+        if baseline_exchange is not None and fresh_exchange is not None:
+            fresh_ratio = fresh_exchange["speedup_shm_vs_pipe"]
+            committed_ratio = baseline_exchange["speedup_shm_vs_pipe"]
+            ratio_floor = committed_ratio * (1.0 - TOLERANCE)
+            print("e5 exchange speedup (shm/pipe): fresh %.2fx vs "
+                  "baseline %.2fx (floor %.2fx)"
+                  % (fresh_ratio, committed_ratio, ratio_floor))
+            if fresh_ratio < ratio_floor:
+                problems.append(
+                    "e5 shm/pipe exchange speedup regressed: "
+                    "%.2fx < %.2fx (baseline %.2fx - 25%%)"
+                    % (fresh_ratio, ratio_floor, committed_ratio))
 
     baseline_e2 = load_json("e2")
     if baseline_e2 is None:
@@ -188,6 +209,12 @@ def main(argv: Optional[List[str]] = None) -> int:
           % (e5["modes"]["scalar"]["records_per_sec"],
              e5["modes"]["batched"]["records_per_sec"],
              e5["speedup_batched_vs_scalar"]))
+    if "exchange" in e5:
+        exchange = e5["exchange"]
+        print("e5 exchange: pipe %.0f rec/s, shm %.0f rec/s, speedup %.2fx"
+              % (exchange["modes"]["pipe"]["records_per_sec"],
+                 exchange["modes"]["shm"]["records_per_sec"],
+                 exchange["speedup_shm_vs_pipe"]))
 
     if args.check_baseline:
         problems = check_baseline(e5, e2)

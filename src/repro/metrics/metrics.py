@@ -280,7 +280,8 @@ class OperatorStats:
     do not sum across a chain.
     """
 
-    __slots__ = ("name", "records_in", "records_out", "batches", "time_ns")
+    __slots__ = ("name", "records_in", "records_out", "batches", "time_ns",
+                 "columnar_batches", "columnar_fallbacks")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -288,6 +289,13 @@ class OperatorStats:
         self.records_out = 0
         self.batches = 0
         self.time_ns = 0
+        #: Columnar batches consumed through a fused column kernel.
+        self.columnar_batches = 0
+        #: Columnar batches that arrived but fell back to the row path
+        #: (unsupported UDF in the chain head, second input, quarantine
+        #: or chaos bookkeeping) -- the observable cost of a missing
+        #: column kernel.
+        self.columnar_fallbacks = 0
 
     def merge(self, other: "OperatorStats") -> None:
         """Fold another subtask's stats for the same operator into this
@@ -296,6 +304,8 @@ class OperatorStats:
         self.records_out += other.records_out
         self.batches += other.batches
         self.time_ns += other.time_ns
+        self.columnar_batches += other.columnar_batches
+        self.columnar_fallbacks += other.columnar_fallbacks
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -304,6 +314,8 @@ class OperatorStats:
             "records_out": self.records_out,
             "batches": self.batches,
             "time_ns": self.time_ns,
+            "columnar_batches": self.columnar_batches,
+            "columnar_fallbacks": self.columnar_fallbacks,
         }
 
     def __repr__(self) -> str:

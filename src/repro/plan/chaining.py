@@ -29,6 +29,11 @@ from repro.plan.graph import JobEdge, JobGraph, JobVertex, StreamGraph
 #: A pure batch transform: list of Records in, list of Records out.
 BatchTransform = Callable[[List[Any]], List[Any]]
 
+#: A pure column kernel: parallel (values, timestamps, keys) lists in,
+#: the transformed parallel lists out -- no Record objects anywhere.
+ColumnKernel = Callable[[List[Any], List[Any], List[Any]],
+                        Tuple[List[Any], List[Any], List[Any]]]
+
 
 def compile_batch_chain(operators: List[Any]
                         ) -> Tuple[Optional[BatchTransform], int]:
@@ -65,6 +70,46 @@ def compile_batch_chain(operators: List[Any]
         return records
 
     return fused, len(transforms)
+
+
+def compile_column_chain(operators: List[Any]
+                         ) -> Tuple[Optional[ColumnKernel], int]:
+    """Fuse the longest column-kernel prefix of an operator chain.
+
+    The columnar twin of :func:`compile_batch_chain`: returns
+    ``(kernel, prefix_len)`` where ``kernel`` runs the first
+    ``prefix_len`` operators over the parallel ``(values, timestamps,
+    keys)`` column lists of a
+    :class:`~repro.runtime.elements.ColumnarBatch` in one call per
+    operator.  No :class:`Record` is materialised inside the prefix --
+    maps rewrite the value list, filters compress all three lists by a
+    keep-index pass -- so rows dropped by the prefix never pay object
+    construction.  Operators without a kernel
+    (:meth:`~repro.runtime.operators.Operator.make_column_kernel`
+    returning ``None``) terminate the prefix exactly like the row-batch
+    fusion pass, and the task falls back to the row path there.
+    """
+    kernels: List[ColumnKernel] = []
+    for operator in operators:
+        kernel = operator.make_column_kernel()
+        if kernel is None:
+            break
+        kernels.append(kernel)
+    if not kernels:
+        return None, 0
+    if len(kernels) == 1:
+        return kernels[0], 1
+    kernel_tuple = tuple(kernels)
+
+    def fused(values: List[Any], timestamps: List[Any], keys: List[Any]
+              ) -> Tuple[List[Any], List[Any], List[Any]]:
+        for kernel in kernel_tuple:
+            values, timestamps, keys = kernel(values, timestamps, keys)
+            if not values:
+                break
+        return values, timestamps, keys
+
+    return fused, len(kernels)
 
 
 def build_job_graph(stream_graph: StreamGraph,

@@ -31,8 +31,12 @@ from repro.runtime.elements import StreamElement
 
 
 def element_weight(element: StreamElement) -> int:
-    """Records carried by one channel element (control elements weigh 1)."""
-    return len(element.records) if element.is_batch else 1
+    """Records carried by one channel element (control elements weigh 1).
+
+    Uses ``len(batch)`` rather than ``len(batch.records)`` so weighing a
+    columnar batch never materialises its row view.
+    """
+    return len(element) if element.is_batch else 1
 
 
 class Channel:
@@ -133,6 +137,17 @@ class Channel:
                    or (element.is_batch and element.records)
                    for element in self._queue)
 
+    def _demote_columnar(self, index: int) -> StreamElement:
+        """Replace a columnar batch at ``index`` with its row-batch twin
+        so chaos mutations edit the authoritative record list rather than
+        a cached materialisation that would desync from the columns."""
+        element = self._queue[index]
+        if element.is_columnar:
+            from repro.runtime.elements import RecordBatch
+            element = RecordBatch(list(element.records))
+            self._queue[index] = element
+        return element
+
     def drop_one_record(self) -> bool:
         """Remove the oldest buffered data record (simulated network
         loss); control elements are never dropped, their loss would wedge
@@ -145,6 +160,7 @@ class Channel:
                 self.cleared += 1
                 return True
             if element.is_batch and element.records:
+                element = self._demote_columnar(index)
                 element.records.pop(0)
                 if not element.records:
                     del self._queue[index]
@@ -163,6 +179,7 @@ class Channel:
                 self.pushed += 1
                 return True
             if element.is_batch and element.records:
+                element = self._demote_columnar(index)
                 element.records.insert(0, element.records[0])
                 self.size += 1
                 self.pushed += 1

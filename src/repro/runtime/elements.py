@@ -39,6 +39,10 @@ class StreamElement:
         return False
 
     @property
+    def is_columnar(self) -> bool:
+        return False
+
+    @property
     def is_watermark(self) -> bool:
         return False
 
@@ -117,11 +121,120 @@ class RecordBatch(StreamElement):
         return "RecordBatch(n=%d)" % len(self.records)
 
     def __eq__(self, other: object) -> bool:
+        if isinstance(other, ColumnarBatch):
+            return self.records == other.records
         return isinstance(other, RecordBatch) and self.records == other.records
+
+    def __hash__(self) -> int:
+        # Defining __eq__ alone silently sets __hash__ to None; batches
+        # must stay hashable like every other stream element (tests and
+        # diagnostics put elements in sets/dicts).  Consistent with
+        # __eq__ via the records' own hashes.
+        return hash(("batch", tuple(map(hash, self.records))))
 
     @property
     def is_batch(self) -> bool:
         return True
+
+
+#: Sentinel for a ``None`` event timestamp inside an int64 timestamp
+#: column; safely outside the engine's MIN/MAX_TIMESTAMP range.
+TIMESTAMP_NONE = -(2**63)
+
+
+class ColumnarBatch(StreamElement):
+    """A :class:`RecordBatch` in columnar (struct-of-arrays) layout.
+
+    Instead of a list of :class:`Record` objects, the batch carries one
+    column per field: an int64 timestamp column (``TIMESTAMP_NONE``
+    encodes a missing timestamp), a key column, and one or more typed
+    value columns described by ``schema`` (see
+    :mod:`repro.runtime.columnar` for inference and the wire codec).
+    Columns are ``array``/``memoryview``/``list`` objects -- whatever
+    the producer had zero-copy access to.
+
+    The element is a drop-in batch for every row-oriented consumer: it
+    reports ``is_batch``, weighs ``len(self)`` records against channel
+    capacity, and its ``records`` property materialises (and caches) the
+    equivalent ``Record`` list on first touch -- so operators without a
+    column kernel transparently take the row path.  Conversion is
+    lossless by construction: the schema inference in
+    ``repro.runtime.columnar`` only admits exact-type columns (``bool``
+    is not ``int``, ``None`` timestamps survive) and falls back to row
+    batches otherwise.
+
+    Like row batches, columnar batches never straddle a control-element
+    boundary, so barrier alignment and watermark semantics are untouched.
+    """
+
+    __slots__ = ("schema", "length", "timestamps", "keys", "columns",
+                 "_records")
+
+    def __init__(self, schema: Any, length: int, timestamps: Any,
+                 keys: Any, columns: tuple) -> None:
+        self.schema = schema
+        self.length = length
+        #: int64 column (``TIMESTAMP_NONE`` = missing) or ``None`` when
+        #: every timestamp is missing.
+        self.timestamps = timestamps
+        #: key column (typed sequence) or ``None`` when every key is.
+        self.keys = keys
+        #: one typed column per value field (a single column for scalar
+        #: values; one per position for tuple values).
+        self.columns = columns
+        self._records: Optional[List[Record]] = None
+
+    def __len__(self) -> int:
+        return self.length
+
+    @property
+    def is_batch(self) -> bool:
+        return True
+
+    @property
+    def is_columnar(self) -> bool:
+        return True
+
+    @property
+    def records(self) -> List["Record"]:
+        """The equivalent row batch, materialised lazily and cached --
+        the compatibility bridge for row-path consumers."""
+        if self._records is None:
+            from repro.runtime.columnar import materialize_records
+            self._records = materialize_records(self)
+        return self._records
+
+    def value_list(self) -> List[Any]:
+        """The value column(s) as one plain Python list (tuples re-zipped
+        for multi-column schemas) -- the input of column kernels."""
+        from repro.runtime.columnar import column_values
+        return column_values(self)
+
+    def timestamp_list(self) -> List[Optional[int]]:
+        from repro.runtime.columnar import column_timestamps
+        return column_timestamps(self)
+
+    def key_list(self) -> List[Any]:
+        from repro.runtime.columnar import column_keys
+        return column_keys(self)
+
+    def slice(self, start: int, stop: int) -> "ColumnarBatch":
+        """A columnar sub-batch of rows ``[start:stop)`` (used by the
+        record-exact step-budget split; columns slice without
+        materialising rows)."""
+        from repro.runtime.columnar import slice_batch
+        return slice_batch(self, start, stop)
+
+    def __repr__(self) -> str:
+        return "ColumnarBatch(n=%d, schema=%r)" % (self.length, self.schema)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (RecordBatch, ColumnarBatch)):
+            return self.records == other.records
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("batch", tuple(map(hash, self.records))))
 
 
 class Watermark(StreamElement):

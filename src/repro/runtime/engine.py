@@ -95,6 +95,9 @@ class EngineConfig:
     def __init__(self, *,
                  backend: str = "cooperative",
                  num_workers: Optional[int] = None,
+                 exchange: str = "shm",
+                 exchange_ring_slots: int = 32,
+                 exchange_slot_bytes: int = 64 * 1024,
                  channel_capacity: int = 128,
                  elements_per_step: int = 32,
                  batch_size: Optional[int] = None,
@@ -143,6 +146,14 @@ class EngineConfig:
                 "pipe and checkpoint-file corruption) and requires "
                 "backend='multiprocess'; the cooperative backend takes "
                 "chaos=ChaosInjector(...) instead")
+        if exchange not in ("shm", "pipe"):
+            raise ValueError(
+                "exchange must be 'shm' (columnar shared-memory rings) or "
+                "'pipe' (pickle frames over pipes); got %r" % (exchange,))
+        if exchange_ring_slots < 2:
+            raise ValueError("exchange_ring_slots must be >= 2")
+        if exchange_slot_bytes < 4096:
+            raise ValueError("exchange_slot_bytes must be >= 4096")
         if channel_capacity < 1:
             raise ValueError("channel_capacity must be >= 1")
         if elements_per_step < 1:
@@ -184,6 +195,23 @@ class EngineConfig:
         #: Worker-process count for the multiprocess backend; ``None``
         #: resolves to ``os.cpu_count()`` (capped at 8) at launch.
         self.num_workers = num_workers
+        #: Cross-worker data transport of the multiprocess backend:
+        #: ``"shm"`` (the default) ships record batches as columnar
+        #: frames through shared-memory ring buffers, with the pipe kept
+        #: for control elements and pickle fallbacks; ``"pipe"`` is the
+        #: legacy everything-as-pickle-frames transport.  Ignored by the
+        #: cooperative backend (no process boundary to cross).  When
+        #: ring provisioning fails at launch (e.g. no memory for the
+        #: mappings), the attempt degrades to ``"pipe"`` silently.
+        self.exchange = exchange
+        #: Slots per shared-memory ring (one ring per ordered worker
+        #: pair).  More slots absorb burstier producers before the
+        #: record-denominated ring backpressure stalls them.
+        self.exchange_ring_slots = exchange_ring_slots
+        #: Payload bytes per ring slot; a columnar frame larger than one
+        #: slot falls back to a pickled pipe frame (counted per edge in
+        #: ``job_report()``).
+        self.exchange_slot_bytes = exchange_slot_bytes
         self.channel_capacity = channel_capacity
         self.elements_per_step = elements_per_step
         self.batch_size = batch_size

@@ -63,7 +63,13 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.metrics import merge_counter_maps, merge_gauge_maps
 from repro.runtime.channels import Channel, element_weight
-from repro.runtime.elements import MAX_TIMESTAMP, StreamElement
+from repro.runtime.columnar import (
+    ColumnarCodecError,
+    batch_to_columnar,
+    decode_columnar,
+    encode_columnar,
+)
+from repro.runtime.elements import MAX_TIMESTAMP, RecordBatch, StreamElement
 from repro.runtime.engine import (
     Engine,
     EngineConfig,
@@ -72,6 +78,7 @@ from repro.runtime.engine import (
     JobStalledError,
 )
 from repro.runtime.operators import CollectSink
+from repro.runtime.shm import RingError, ShmRing, ShmRingReader, ShmRingWriter
 from repro.runtime.task import Task
 from repro.runtime.watchdog import FAILED, WorkerWatchdog
 from repro.state.checkpoint import (
@@ -137,11 +144,14 @@ class _FrameWriter:
         self._buffer = bytearray()
         self.broken = False
 
-    def send(self, message: Any) -> None:
+    def send(self, message: Any) -> int:
+        """Frame and enqueue one message; returns its payload size (the
+        exchange accounting reads it)."""
         payload = pickle.dumps(message, _PICKLE_PROTOCOL)
         self._buffer += _LEN.pack(len(payload))
         self._buffer += payload
         self.flush()
+        return len(payload)
 
     def flush(self) -> bool:
         """Push buffered bytes into the pipe; True when fully drained."""
@@ -269,6 +279,118 @@ class _FrameReader:
             pass
 
 
+# -- the exchange writer ----------------------------------------------------
+
+
+def _exchange_stats() -> Dict[str, int]:
+    return {
+        "shm_frames": 0,        # columnar frames published to the ring
+        "shm_bytes": 0,
+        "shm_records": 0,
+        "pipe_frames": 0,       # everything framed over the pipe
+        "pipe_bytes": 0,
+        "pipe_records": 0,      # data records inside pipe frames
+        "control_frames": 0,    # watermarks/barriers/EOS (always pipe)
+        "pickle_fallbacks": 0,  # data batches that had to take the pipe
+        "fallback_unschematizable": 0,
+        "fallback_oversize": 0,
+        "fallback_ring_full": 0,
+    }
+
+
+class ExchangeWriter:
+    """One worker's sending side of the exchange toward one peer.
+
+    In ``"shm"`` mode a record batch is converted to columnar layout
+    (the per-ordinal schema is inferred at the first batch boundary and
+    re-verified per batch), encoded as one raw-bytes frame and published
+    to the pair's ring; everything else -- control elements, scalar
+    records, unschematizable/oversize batches, batches hitting a full
+    ring -- travels as a ``(seq, ordinal, element)`` pickle frame over
+    the pipe.  The per-pair sequence number stamped on *every* frame is
+    what lets the receiver stitch the two transports back into the exact
+    per-channel FIFO order.
+
+    In ``"pipe"`` mode (``ring is None``) frames keep the legacy
+    ``(ordinal, element)`` shape byte-for-byte, so the old transport is
+    still exactly itself -- only the accounting is new.
+    """
+
+    __slots__ = ("pipe", "ring", "stats", "_seq", "_schemas")
+
+    def __init__(self, pipe: _FrameWriter,
+                 ring: Optional[ShmRingWriter] = None) -> None:
+        self.pipe = pipe
+        self.ring = ring
+        self.stats = _exchange_stats()
+        self._seq = 0
+        #: ordinal -> cached ColumnSchema (first-batch-boundary inference).
+        self._schemas: Dict[int, Any] = {}
+
+    def send(self, ordinal: int, element: StreamElement) -> None:
+        stats = self.stats
+        ring = self.ring
+        if ring is None:
+            size = self.pipe.send((ordinal, element))
+            stats["pipe_frames"] += 1
+            stats["pipe_bytes"] += size
+            if element.is_batch:
+                stats["pipe_records"] += len(element)
+            elif element.is_record:
+                stats["pipe_records"] += 1
+            else:
+                stats["control_frames"] += 1
+            return
+        seq = self._seq
+        self._seq += 1
+        if element.is_batch and len(element):
+            batch = (element if element.is_columnar
+                     else batch_to_columnar(element.records,
+                                            self._schemas.get(ordinal)))
+            if batch is None:
+                stats["fallback_unschematizable"] += 1
+            else:
+                self._schemas[ordinal] = batch.schema
+                payload = encode_columnar(batch)
+                if len(payload) > ring.payload_capacity:
+                    stats["fallback_oversize"] += 1
+                elif ring.try_write(seq, ordinal, len(batch), payload):
+                    stats["shm_frames"] += 1
+                    stats["shm_bytes"] += len(payload)
+                    stats["shm_records"] += len(batch)
+                    return
+                else:
+                    stats["fallback_ring_full"] += 1
+            stats["pickle_fallbacks"] += 1
+            stats["pipe_records"] += len(element)
+            if element.is_columnar:
+                # memoryview columns defeat pickle; ship the row twin.
+                element = RecordBatch(list(element.records))
+        elif element.is_record:
+            stats["pipe_records"] += 1
+        elif not element.is_batch:
+            stats["control_frames"] += 1
+        size = self.pipe.send((seq, ordinal, element))
+        stats["pipe_frames"] += 1
+        stats["pipe_bytes"] += size
+
+    def occupancy_records(self) -> int:
+        return self.ring.occupancy_records() if self.ring is not None else 0
+
+    @property
+    def pending_bytes(self) -> int:
+        return self.pipe.pending_bytes
+
+    def flush(self) -> bool:
+        return self.pipe.flush()
+
+    def drain(self) -> None:
+        self.pipe.drain()
+
+    def close(self) -> None:
+        self.pipe.close()
+
+
 # -- the exchange channel ---------------------------------------------------
 
 
@@ -277,29 +399,33 @@ class EgressChannel(Channel):
 
     Looks like an ordinary :class:`Channel` to the task runtime --
     ``push`` accepts any stream element, ``size``/``capacity`` drive the
-    scheduler's backpressure scan -- but elements leave the process as
-    ``(ordinal, element)`` frames instead of queueing.  Occupancy is
-    synthesised from the writer's unflushed depth: the channel reports
-    full while the pipe is congested, idle otherwise, so one slow
-    consumer throttles exactly the producers feeding it.
+    scheduler's backpressure scan -- but elements leave the process
+    through the pair's :class:`ExchangeWriter` instead of queueing.
+    Occupancy stays record-denominated: the channel reports the records
+    sitting unconsumed in the pair's shm ring, topped up to ``capacity``
+    while the pipe side is congested, so one slow consumer throttles
+    exactly the producers feeding it in the same units as an in-process
+    channel.
     """
 
-    __slots__ = ("ordinal", "writer")
+    __slots__ = ("ordinal", "exchange")
 
-    def __init__(self, name: str, capacity: int, writer: _FrameWriter,
+    def __init__(self, name: str, capacity: int, exchange: ExchangeWriter,
                  ordinal: int) -> None:
         super().__init__(name, capacity)
         self.ordinal = ordinal
-        self.writer = writer
+        self.exchange = exchange
 
     def push(self, element: StreamElement) -> None:
         self.pushed += element_weight(element)
-        self.writer.send((self.ordinal, element))
+        self.exchange.send(self.ordinal, element)
         self.update_pressure()
 
     def update_pressure(self) -> None:
-        self.size = (self.capacity
-                     if self.writer.pending_bytes > _EGRESS_SOFT_LIMIT else 0)
+        size = self.exchange.occupancy_records()
+        if self.exchange.pending_bytes > _EGRESS_SOFT_LIMIT:
+            size = max(size, self.capacity)
+        self.size = size
 
 
 # -- the per-worker engine --------------------------------------------------
@@ -317,13 +443,18 @@ class ShardEngine(Engine):
     """
 
     def __init__(self, job_graph: Any, config: EngineConfig, worker_id: int,
-                 num_workers: int, data_writers: Dict[int, _FrameWriter],
+                 num_workers: int, data_writers: Dict[int, ExchangeWriter],
                  control: _FrameWriter, restoring: bool = False) -> None:
         self.worker_id = worker_id
         self.num_workers = num_workers
         self._data_writers = data_writers
         self._control = control
         self._restoring = restoring
+        #: Per-source seq-merge state ("shm" mode only): the next sequence
+        #: number expected from that worker, and frames that arrived ahead
+        #: of it on the other transport, keyed by seq.
+        self._merge_next: Dict[int, int] = {}
+        self._merge_pending: Dict[int, Dict[int, Tuple[int, Any]]] = {}
         self.egress: List[EgressChannel] = []
         #: channel ordinal -> local ingress channel (cross-worker edges in).
         self.ingress: Dict[int, Channel] = {}
@@ -426,14 +557,22 @@ class ShardEngine(Engine):
         elif kind == "stop":
             raise _Stop()
 
-    def pump_ingress(self, readers: Dict[int, _FrameReader]) -> bool:
-        """Move pipe frames into local ingress channels.
+    def pump_ingress(self, readers: Dict[int, _FrameReader],
+                     ring_readers: Optional[Dict[int, ShmRingReader]] = None
+                     ) -> bool:
+        """Move exchange frames into local ingress channels.
 
-        A reader is skipped while the channels it feeds hold several
+        A source is skipped while the channels it feeds hold several
         capacities' worth of records -- receiver-side flow control so a
         fast sender cannot balloon this worker's queues (the sender's
         own soft limit then backpressures it).  The margin is generous
         because barrier alignment legitimately buffers past capacity.
+
+        In ``"shm"`` mode each source's frames arrive over two transports
+        (ring for columnar data, pipe for everything else), every frame
+        carrying the sender's per-pair sequence number; frames are merged
+        back into sequence order before delivery so each channel sees the
+        exact FIFO order the sender emitted.
         """
         moved = False
         for source, reader in readers.items():
@@ -442,14 +581,40 @@ class ShardEngine(Engine):
                 budget = 4 * sum(ch.capacity for ch in channels)
                 if sum(ch.size for ch in channels) > budget:
                     continue
-            for ordinal, element in reader.read_available():
+            ring = ring_readers.get(source) if ring_readers else None
+            if ring is None:
+                # Legacy single-transport frames: (ordinal, element).
+                for ordinal, element in reader.read_available():
+                    self.ingress[ordinal].push(element)
+                    moved = True
+                continue
+            pending = self._merge_pending.setdefault(source, {})
+            for seq, ordinal, element in reader.read_available():
+                pending[seq] = (ordinal, element)
+            try:
+                ring_frames = ring.read_available()
+            except RingError as exc:
+                raise FrameError(str(exc)) from exc
+            for seq, ordinal, records, payload in ring_frames:
+                try:
+                    element = decode_columnar(payload)
+                except ColumnarCodecError as exc:
+                    raise FrameError(
+                        "%s: garbled columnar frame (seq %d, ordinal %d): %s"
+                        % (ring.peer, seq, ordinal, exc)) from exc
+                pending[seq] = (ordinal, element)
+            next_seq = self._merge_next.get(source, 0)
+            while next_seq in pending:
+                ordinal, element = pending.pop(next_seq)
+                next_seq += 1
                 self.ingress[ordinal].push(element)
                 moved = True
+            self._merge_next[source] = next_seq
         return moved
 
     def flush_egress(self) -> None:
-        for writer in self._data_writers.values():
-            writer.flush()
+        for exchange in self._data_writers.values():
+            exchange.flush()
         for channel in self.egress:
             channel.update_pressure()
 
@@ -469,7 +634,9 @@ class ShardEngine(Engine):
                                          * self._heartbeat_rng.random())
 
     def run(self, readers: Dict[int, _FrameReader],
-            control_in: _FrameReader) -> Dict[str, Any]:
+            control_in: _FrameReader,
+            ring_readers: Optional[Dict[int, ShmRingReader]] = None
+            ) -> Dict[str, Any]:
         """Drive the shard to completion; returns the done payload."""
         config = self.config
         control = self._control
@@ -500,7 +667,7 @@ class ShardEngine(Engine):
                 self.handle_control(message)
             if control_in.exhausted:
                 raise _Stop()  # the parent died; do not run on orphaned
-            moved = self.pump_ingress(readers)
+            moved = self.pump_ingress(readers, ring_readers)
             progressed = self._step_tasks(rounds)
             self.clock.advance(config.tick_ms)
             now = self.clock.now()
@@ -531,12 +698,12 @@ class ShardEngine(Engine):
                     "worker %d made no progress for %.0fs; unfinished: %r"
                     % (self.worker_id, _STALL_TIMEOUT_S,
                        [t for t in self.tasks if not t.finished]))
-            self._idle_wait(readers, control_in)
+            self._idle_wait(readers, control_in, ring_readers)
 
         # Orderly completion: every EOS and trailing record must reach
         # its peer before the fds close.
-        for writer in self._data_writers.values():
-            writer.drain()
+        for exchange in self._data_writers.values():
+            exchange.drain()
         self.drain_collect()
         result = self._assemble_result(rounds)
         return {
@@ -549,21 +716,38 @@ class ShardEngine(Engine):
             "report_sections": self.job_report().as_dict(),
             "registry": (self.observability.registry.snapshot()
                          if self.observability is not None else None),
+            "exchange": {dst: dict(exchange.stats)
+                         for dst, exchange in self._data_writers.items()},
         }
 
     def _idle_wait(self, readers: Dict[int, _FrameReader],
-                   control_in: _FrameReader) -> None:
+                   control_in: _FrameReader,
+                   ring_readers: Optional[Dict[int, ShmRingReader]] = None
+                   ) -> None:
         """Block on the pipes instead of spinning: wake on inbound data,
-        a control message, or a congested writer draining."""
+        a control message, or a congested writer draining.  Rings have no
+        pollable fd; a ring holding data the flow-control budget would
+        accept is treated as an immediate wakeup."""
+        if ring_readers:
+            for source, ring in ring_readers.items():
+                if not ring.has_data:
+                    continue
+                channels = self.ingress_by_source.get(source)
+                if channels:
+                    budget = 4 * sum(ch.capacity for ch in channels)
+                    if sum(ch.size for ch in channels) > budget:
+                        continue  # over budget: blocking here is correct
+                return
         selector = selectors.DefaultSelector()
         try:
             selector.register(control_in.fd, selectors.EVENT_READ)
             for reader in readers.values():
                 if not reader.eof:
                     selector.register(reader.fd, selectors.EVENT_READ)
-            for writer in self._data_writers.values():
-                if writer.pending_bytes and not writer.broken:
-                    selector.register(writer.fd, selectors.EVENT_WRITE)
+            for exchange in self._data_writers.values():
+                if exchange.pending_bytes and not exchange.pipe.broken:
+                    selector.register(exchange.pipe.fd,
+                                      selectors.EVENT_WRITE)
             selector.select(_IDLE_WAIT_S)
         finally:
             selector.close()
@@ -593,7 +777,9 @@ def _worker_main(worker_id: int, num_workers: int, job_graph: Any,
                  config: EngineConfig,
                  data_fds: Dict[Tuple[int, int], Tuple[int, int]],
                  control_fds: Dict[int, Tuple[int, int, int, int]],
-                 restore: Optional[Dict[SubtaskId, TaskSnapshot]]) -> None:
+                 restore: Optional[Dict[SubtaskId, TaskSnapshot]],
+                 rings: Optional[Dict[Tuple[int, int], ShmRing]] = None
+                 ) -> None:
     # Keep only this worker's pipe ends; closing the rest is what gives
     # every pipe exactly one writer and one reader (EOF semantics).
     writers: Dict[int, _FrameWriter] = {}
@@ -610,6 +796,24 @@ def _worker_main(worker_id: int, num_workers: int, job_graph: Any,
         else:
             os.close(read_fd)
             os.close(write_fd)
+    # Same ownership split for the fork-inherited rings: keep the two
+    # ends this worker drives, unmap every other pair's view.
+    ring_writers: Dict[int, ShmRingWriter] = {}
+    ring_readers: Dict[int, ShmRingReader] = {}
+    owned_rings: List[ShmRing] = []
+    for (src, dst), ring in (rings or {}).items():
+        if src == worker_id:
+            ring_writers[dst] = ShmRingWriter(ring)
+            owned_rings.append(ring)
+        elif dst == worker_id:
+            ring_readers[src] = ShmRingReader(
+                ring, peer="shm ring worker %d -> worker %d"
+                % (src, worker_id))
+            owned_rings.append(ring)
+        else:
+            ring.close()
+    exchanges = {dst: ExchangeWriter(writer, ring_writers.get(dst))
+                 for dst, writer in writers.items()}
     control_in: Optional[_FrameReader] = None
     control_out: Optional[_FrameWriter] = None
     for wid, (to_r, to_w, from_r, from_w) in control_fds.items():
@@ -625,14 +829,14 @@ def _worker_main(worker_id: int, num_workers: int, job_graph: Any,
     assert control_in is not None and control_out is not None
     try:
         engine = ShardEngine(job_graph, config, worker_id, num_workers,
-                             writers, control_out,
+                             exchanges, control_out,
                              restoring=restore is not None)
         if restore is not None:
             for task in engine.tasks:
                 snapshot = restore.get(task.subtask_id)
                 if snapshot is not None:
                     task.restore(snapshot)
-        payload = engine.run(readers, control_in)
+        payload = engine.run(readers, control_in, ring_readers or None)
         control_out.send(("done", payload))
         control_out.drain()
     except _Stop:
@@ -651,6 +855,8 @@ def _worker_main(worker_id: int, num_workers: int, job_graph: Any,
             writer.close()
         for reader in readers.values():
             reader.close()
+        for ring in owned_rings:
+            ring.close()
         control_in.close()
         control_out.close()
 
@@ -800,6 +1006,11 @@ class MultiprocessEngine:
         self._started = time.monotonic()
         self._last_result: Optional[JobResult] = None
         self._worker_sections: List[Dict[str, Any]] = []
+        #: Transport the last attempt actually used ("shm" or "pipe" --
+        #: the former degrades to the latter if ring provisioning fails).
+        self._exchange_transport: Optional[str] = None
+        #: Per-edge exchange accounting rows from the last attempt.
+        self._exchange_edges: List[Dict[str, Any]] = []
         self._registry_snapshots: List[Dict[str, Any]] = []
         #: Collect-sink output received from workers, keyed by
         #: ``(vertex_id, chain_position)``; merged into the real buckets
@@ -911,12 +1122,29 @@ class MultiprocessEngine:
             to_r, to_w = os.pipe()
             from_r, from_w = os.pipe()
             control_fds[wid] = (to_r, to_w, from_r, from_w)
+        # Fresh shared-memory rings per attempt, mapped before forking so
+        # every worker inherits the same pages.  A respawned fleet never
+        # sees the crashed attempt's slots.  Provisioning failure (e.g.
+        # mmap exhaustion) degrades to the pipe transport rather than
+        # failing the job.
+        rings: Optional[Dict[Tuple[int, int], ShmRing]] = None
+        if self.config.exchange == "shm" and num > 1:
+            try:
+                rings = {(src, dst): ShmRing(self.config.exchange_ring_slots,
+                                             self.config.exchange_slot_bytes)
+                         for src in range(num) for dst in range(num)
+                         if src != dst}
+            except (OSError, ValueError, MemoryError):
+                for ring in (rings or {}).values():
+                    ring.close()
+                rings = None
+        self._exchange_transport = "shm" if rings is not None else "pipe"
         processes = []
         for wid in range(num):
             process = self._mp.Process(
                 target=_worker_main,
                 args=(wid, num, self.job_graph, self.config, data_fds,
-                      control_fds, restore),
+                      control_fds, restore, rings),
                 daemon=True)
             process.start()
             processes.append(process)
@@ -924,6 +1152,8 @@ class MultiprocessEngine:
         for read_fd, write_fd in data_fds.values():
             os.close(read_fd)
             os.close(write_fd)
+        for ring in (rings or {}).values():
+            ring.close()
         writers = {}
         readers = {}
         for wid, (to_r, to_w, from_r, from_w) in control_fds.items():
@@ -1193,6 +1423,10 @@ class MultiprocessEngine:
             self.dead_letters.extend(payload["dead_letters"])
         self._worker_sections = [payload["report_sections"]
                                  for payload in ordered]
+        self._exchange_edges = [
+            {"src": payload["worker"], "dst": dst, **stats}
+            for payload in ordered
+            for dst, stats in sorted(payload.get("exchange", {}).items())]
         self._registry_snapshots = [payload["registry"]
                                     for payload in ordered
                                     if payload["registry"] is not None]
@@ -1312,6 +1546,16 @@ class MultiprocessEngine:
         if self.watchdog is not None:
             fleet["watchdog"] = self.watchdog.snapshot()
         sections["fleet"] = fleet
+        if self._exchange_edges:
+            totals = _exchange_stats()
+            for row in self._exchange_edges:
+                for name in totals:
+                    totals[name] += row.get(name, 0)
+            sections["exchange"] = {
+                "transport": self._exchange_transport,
+                "edges": self._exchange_edges,
+                "totals": totals,
+            }
         watermark_sections = [ws["watermarks"]
                               for ws in self._worker_sections
                               if "watermarks" in ws]

@@ -15,7 +15,8 @@ STREAMLINE paper describes, reduced to its essence.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Hashable, Iterable, List, Optional
+from itertools import islice
+from typing import Any, Callable, Hashable, Iterable, List, Optional, Tuple
 
 from repro.metrics import MetricGroup
 from repro.runtime.elements import Record
@@ -44,6 +45,11 @@ class OperatorContext:
         self.metrics = metrics
         self.clock = clock
         self._collector = collector
+        #: Batch-aware collector installed by the owning task when the
+        #: chain tail buffers output (batched mode): takes a whole list
+        #: of records in one call.  ``None`` -> fall back to a
+        #: per-record loop over ``_collector``.
+        self.batch_collector: Optional[Callable[[List[Record]], None]] = None
         self.current_timestamp: Optional[int] = None
         #: Span collector when the engine runs with observability on;
         #: ``None`` otherwise, so operators guard with ``is not None``.
@@ -58,6 +64,17 @@ class OperatorContext:
 
     def emit_record(self, record: Record) -> None:
         self._collector(record)
+
+    def emit_records(self, records: "List[Record]") -> None:
+        """Emit a run of records; one call into the task's output buffer
+        when it supports that, a plain loop otherwise."""
+        batch_collector = self.batch_collector
+        if batch_collector is not None:
+            batch_collector(records)
+            return
+        collector = self._collector
+        for record in records:
+            collector(record)
 
     # -- state ----------------------------------------------------------
     @property
@@ -135,6 +152,21 @@ class Operator:
         single Python-level call per batch per operator and routes the
         result straight to the task outputs, bypassing the per-record
         context bookkeeping (which stateless operators never read).
+        """
+        return None
+
+    def make_column_kernel(self) -> "Optional[Callable[[List[Any], List[Any], List[Any]], Tuple[List[Any], List[Any], List[Any]]]]":
+        """A pure column-wise kernel ``(values, timestamps, keys) ->
+        (values, timestamps, keys)``, or ``None``.
+
+        The columnar fast path (:func:`~repro.plan.chaining.compile_column_chain`)
+        composes these over the parallel column lists of a
+        :class:`~repro.runtime.elements.ColumnarBatch` -- no ``Record``
+        object exists until after the fused prefix has mapped/filtered
+        the columns, so dropped rows never pay object construction.  The
+        eligibility bar is the same as :meth:`make_batch_transform`
+        (stateless, timer-free, single-input), and the kernel must be
+        row-for-row equivalent to it.
         """
         return None
 
@@ -232,6 +264,12 @@ class SourceContext:
     def collect(self, value: Any) -> None:
         self._ctx.emit_record(Record(value, None))
 
+    def collect_batch(self, values: Iterable[Any]) -> None:
+        """Emit a run of untimestamped values in one call -- the bulk
+        path high-throughput sources use to skip the per-record
+        emission chain."""
+        self._ctx.emit_records([Record(value, None) for value in values])
+
     def collect_with_timestamp(self, value: Any, timestamp: int) -> None:
         self._ctx.emit_record(Record(value, timestamp))
 
@@ -278,7 +316,6 @@ class IteratorSource(SourceOperator):
         self._timestamped = timestamped
         self._iterator: Optional[Any] = None
         self._offset = 0          # elements of *this subtask* already emitted
-        self._global_index = 0    # position in the underlying iterable
 
     def open(self, ctx: OperatorContext) -> None:
         super().open(ctx)
@@ -286,52 +323,37 @@ class IteratorSource(SourceOperator):
 
     def _rewind(self, offset: int) -> None:
         """Recreate the iterator and skip this subtask's first ``offset``
-        elements (exactly-once replay after recovery)."""
-        self._iterator = iter(self._factory())
-        self._offset = 0
-        self._global_index = 0
-        skipped = 0
-        while skipped < offset:
-            item = self._next_owned()
-            if item is _EXHAUSTED:
-                break
-            skipped += 1
-        self._offset = skipped
+        elements (exactly-once replay after recovery).
 
-    def _next_owned(self) -> Any:
-        """Next element owned by this subtask, or ``_EXHAUSTED``."""
+        Ownership dealing (``index % parallelism == subtask_index``) is
+        an :func:`itertools.islice` stride, so the three-out-of-four
+        elements a subtask does NOT own are skipped at C speed instead
+        of through a Python modulo loop."""
         assert self.ctx is not None
-        while True:
-            try:
-                value = next(self._iterator)
-            except StopIteration:
-                return _EXHAUSTED
-            index = self._global_index
-            self._global_index += 1
-            if index % self.ctx.parallelism == self.ctx.subtask_index:
-                return value
+        self._iterator = islice(iter(self._factory()),
+                                self.ctx.subtask_index, None,
+                                self.ctx.parallelism)
+        # Discard the replayed prefix; count what was actually there so
+        # a too-short replay (shrunk collection) clamps the offset.
+        self._offset = sum(1 for _ in islice(self._iterator, offset))
 
     def emit_batch(self, source_ctx: SourceContext, max_records: int) -> bool:
-        for _ in range(max_records):
-            item = self._next_owned()
-            if item is _EXHAUSTED:
-                return False
-            self._offset += 1
-            if self._timestamped:
-                value, timestamp = item
+        chunk = list(islice(self._iterator, max_records))
+        if not chunk:
+            return False
+        self._offset += len(chunk)
+        if self._timestamped:
+            for value, timestamp in chunk:
                 source_ctx.collect_with_timestamp(value, timestamp)
-            else:
-                source_ctx.collect(item)
-        return True
+        else:
+            source_ctx.collect_batch(chunk)
+        return len(chunk) == max_records
 
     def snapshot_state(self) -> Any:
         return {"offset": self._offset}
 
     def restore_state(self, state: Any) -> None:
         self._rewind(state["offset"])
-
-
-_EXHAUSTED = object()
 
 
 # ---------------------------------------------------------------------------
@@ -353,6 +375,11 @@ class MapOperator(Operator):
         return lambda records: [make(fn(r.value), r.timestamp, r.key)
                                 for r in records]
 
+    def make_column_kernel(self):
+        fn = self._fn
+        return lambda values, timestamps, keys: (
+            [fn(v) for v in values], timestamps, keys)
+
 
 class FlatMapOperator(Operator):
     def __init__(self, fn: Callable[[Any], Iterable[Any]],
@@ -371,6 +398,22 @@ class FlatMapOperator(Operator):
         return lambda records: [make(value, r.timestamp, r.key)
                                 for r in records for value in fn(r.value)]
 
+    def make_column_kernel(self):
+        fn = self._fn
+
+        def kernel(values, timestamps, keys):
+            out_values: List[Any] = []
+            out_timestamps: List[Any] = []
+            out_keys: List[Any] = []
+            for v, ts, k in zip(values, timestamps, keys):
+                for produced in fn(v):
+                    out_values.append(produced)
+                    out_timestamps.append(ts)
+                    out_keys.append(k)
+            return out_values, out_timestamps, out_keys
+
+        return kernel
+
 
 class FilterOperator(Operator):
     def __init__(self, predicate: Callable[[Any], bool],
@@ -386,6 +429,19 @@ class FilterOperator(Operator):
     def make_batch_transform(self):
         predicate = self._predicate
         return lambda records: [r for r in records if predicate(r.value)]
+
+    def make_column_kernel(self):
+        predicate = self._predicate
+
+        def kernel(values, timestamps, keys):
+            keep = [i for i, v in enumerate(values) if predicate(v)]
+            if len(keep) == len(values):
+                return values, timestamps, keys
+            return ([values[i] for i in keep],
+                    [timestamps[i] for i in keep],
+                    [keys[i] for i in keep])
+
+        return kernel
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,184 @@
+"""Fork-inherited shared-memory SPSC ring buffers for the exchange.
+
+One ring per ordered worker pair carries columnar batch frames as raw
+bytes between exactly one writer process and one reader process.  The
+backing store is an *anonymous* ``mmap.mmap(-1, size)`` mapping created
+in the coordinator before forking: every worker inherits the same
+physical pages (``MAP_SHARED``), there is no filesystem name to leak or
+unlink, and the kernel reclaims the memory the moment the last mapping
+closes -- which makes SIGKILL'd fleets (the OS-chaos battery's bread
+and butter) leak-free by construction.  Crash recovery simply maps a
+fresh set of rings per attempt; nothing persists across attempts.
+
+Layout: ``slot_count`` fixed-size slots, each
+
+    byte 0        state flag: 0 = free (writer may fill),
+                              1 = full (reader may consume)
+    bytes 8..28   ``<IIQ`` header: payload length, channel ordinal,
+                  record count, u64 sequence number
+    bytes 32..    payload (a columnar wire frame)
+
+Only the single-byte state flag is ever written by both sides, and a
+one-byte store cannot tear.  Both sides keep their ring index process-
+locally: the writer fills slots in order and stops at the first
+non-free slot (ring full -> the sender falls back to the pipe and the
+record-denominated occupancy backpressures it); the reader consumes in
+order and stops at the first non-full slot.  The writer publishes a
+slot by storing the flag *after* the payload and header bytes; on
+x86-64's total-store-order memory model the reader therefore never
+observes a published flag before the payload is visible.  On weaker
+architectures this ordering is not guaranteed by CPython --
+``exchange="pipe"`` is the portable transport.
+"""
+
+from __future__ import annotations
+
+import mmap
+import struct
+from typing import List, Tuple
+
+_SLOT_FREE = 0
+_SLOT_FULL = 1
+#: payload length, channel ordinal, record count, sequence number.
+_SLOT_HEADER = struct.Struct("<IIIQ")
+_HEADER_OFFSET = 8
+_PAYLOAD_OFFSET = 32
+
+
+class RingError(Exception):
+    """A ring slot holds an impossible state flag or payload length --
+    the shared pages were trampled.  Diagnosed loudly, like a garbled
+    pipe frame, instead of silently delivering garbage."""
+
+
+class ShmRing:
+    """The shared mapping of one ordered worker pair.
+
+    Create in the parent *before* forking; every process that inherits
+    it sees the same pages.  ``close()`` unmaps only the calling
+    process's view.
+    """
+
+    __slots__ = ("buf", "slot_count", "slot_bytes", "stride")
+
+    def __init__(self, slot_count: int, slot_bytes: int) -> None:
+        if slot_count < 2:
+            raise ValueError("a ring needs at least 2 slots")
+        self.slot_count = slot_count
+        self.slot_bytes = slot_bytes
+        self.stride = _PAYLOAD_OFFSET + slot_bytes
+        # Anonymous MAP_SHARED pages, zero-filled: every slot starts in
+        # the free state without an initialisation pass.
+        self.buf = mmap.mmap(-1, slot_count * self.stride)
+
+    def close(self) -> None:
+        try:
+            self.buf.close()
+        except (BufferError, ValueError):
+            pass
+
+
+class ShmRingWriter:
+    """The producing side: fills free slots in ring order.
+
+    All state beyond the shared flag bytes is process-local, so a
+    respawned fleet (which gets brand-new rings) starts from a clean
+    index without any cross-process handshake.
+    """
+
+    __slots__ = ("ring", "_index")
+
+    def __init__(self, ring: ShmRing) -> None:
+        self.ring = ring
+        self._index = 0
+
+    @property
+    def payload_capacity(self) -> int:
+        return self.ring.slot_bytes
+
+    def try_write(self, seq: int, ordinal: int, records: int,
+                  payload: bytes) -> bool:
+        """Publish one frame; False when the next slot is still full
+        (ring full -- the caller falls back to the pipe transport)."""
+        ring = self.ring
+        buf = ring.buf
+        offset = self._index * ring.stride
+        if buf[offset] != _SLOT_FREE:
+            return False
+        length = len(payload)
+        start = offset + _PAYLOAD_OFFSET
+        buf[start:start + length] = payload
+        _SLOT_HEADER.pack_into(buf, offset + _HEADER_OFFSET,
+                               length, ordinal, records, seq)
+        # The publish: a single-byte store, strictly after the payload
+        # and header stores (TSO keeps the reader from reordering them).
+        buf[offset] = _SLOT_FULL
+        self._index = (self._index + 1) % ring.slot_count
+        return True
+
+    def occupancy_records(self) -> int:
+        """Records currently sitting in unconsumed slots -- the
+        record-denominated backpressure signal of the sending channel.
+        Headers of full slots are stable (only this writer writes them),
+        so the scan is race-free up to a slot being freed mid-scan,
+        which only under-counts."""
+        ring = self.ring
+        buf = ring.buf
+        stride = ring.stride
+        unpack_from = _SLOT_HEADER.unpack_from
+        total = 0
+        for index in range(ring.slot_count):
+            offset = index * stride
+            if buf[offset] == _SLOT_FULL:
+                total += unpack_from(buf, offset + _HEADER_OFFSET)[2]
+        return total
+
+
+class ShmRingReader:
+    """The consuming side: drains full slots in ring order."""
+
+    __slots__ = ("ring", "peer", "_index")
+
+    def __init__(self, ring: ShmRing, peer: str = "shm ring") -> None:
+        self.ring = ring
+        self.peer = peer
+        self._index = 0
+
+    @property
+    def has_data(self) -> bool:
+        ring = self.ring
+        return ring.buf[self._index * ring.stride] == _SLOT_FULL
+
+    def read_available(self) -> List[Tuple[int, int, int, bytes]]:
+        """Drain every consecutively full slot; returns ``(seq, ordinal,
+        record_count, payload)`` tuples.  The payload is copied out
+        before the slot is freed -- the slot's bytes are reused by the
+        writer the instant the flag flips back."""
+        ring = self.ring
+        buf = ring.buf
+        stride = ring.stride
+        slot_bytes = ring.slot_bytes
+        frames: List[Tuple[int, int, int, bytes]] = []
+        index = self._index
+        while True:
+            offset = index * stride
+            state = buf[offset]
+            if state == _SLOT_FREE:
+                break
+            if state != _SLOT_FULL:
+                raise RingError(
+                    "%s: slot %d holds impossible state byte %d"
+                    % (self.peer, index, state))
+            length, ordinal, records, seq = _SLOT_HEADER.unpack_from(
+                buf, offset + _HEADER_OFFSET)
+            if length > slot_bytes:
+                raise RingError(
+                    "%s: slot %d claims a %d-byte payload in a %d-byte "
+                    "slot" % (self.peer, index, length, slot_bytes))
+            start = offset + _PAYLOAD_OFFSET
+            payload = buf[start:start + length]
+            buf[offset] = _SLOT_FREE
+            frames.append((seq, ordinal, records, payload))
+            index = (index + 1) % ring.slot_count
+        self._index = index
+        return frames

@@ -141,6 +141,39 @@ class OutputEdge:
         for record in records:
             self.emit_record(record)
 
+    @property
+    def passes_columnar(self) -> bool:
+        """Whether a columnar batch can be routed through this edge
+        without touching individual rows: single-destination routes
+        (and broadcast) forward the batch object as-is; keyed and
+        multi-channel round-robin routes need per-record work and keep
+        the row path."""
+        partitioner = self.partitioner
+        if isinstance(partitioner, (ForwardPartitioner, GlobalPartitioner,
+                                    BroadcastPartitioner)):
+            return True
+        return (isinstance(partitioner, RebalancePartitioner)
+                and len(self.channels) == 1)
+
+    def emit_columnar(self, batch: "ColumnarBatch") -> None:
+        """Route one columnar batch whole (callers check
+        :attr:`passes_columnar` first).  No copy is needed: chaos
+        mutation hooks demote a queued columnar batch to a private row
+        twin instead of editing it in place, so sharing one batch object
+        across channels is safe."""
+        channels = self.channels
+        partitioner = self.partitioner
+        if isinstance(partitioner, ForwardPartitioner):
+            channels[self.subtask_index % len(channels)].push(batch)
+        elif isinstance(partitioner, BroadcastPartitioner):
+            for channel in channels:
+                channel.push(batch)
+        elif isinstance(partitioner, RebalancePartitioner):
+            partitioner.advance(len(batch))
+            channels[0].push(batch)
+        else:  # GlobalPartitioner
+            channels[0].push(batch)
+
     def broadcast(self, element: StreamElement) -> None:
         for channel in self.channels:
             channel.push(element)
@@ -238,12 +271,18 @@ class Task:
         self.chain: List[_ChainedOperator] = []
         collector = (self._buffer_output if self._batching
                      else self._route_to_outputs)
+        tail = True
         for position in reversed(range(len(operators))):
             operator = operators[position]
             backend = KeyedStateBackend()
             timers = TimerService()
             ctx = OperatorContext(subtask_index, parallelism, backend, timers,
                                   metrics, clock, collector)
+            if tail and self._batching:
+                # The chain tail may hand the output buffer whole record
+                # runs (SourceContext.collect_batch and friends).
+                ctx.batch_collector = self._buffer_output_batch
+            tail = False
             ctx.tracer = tracer
             chained = _ChainedOperator(operator, backend, timers, ctx)
             self.chain.insert(0, chained)
@@ -265,12 +304,32 @@ class Task:
         # keeps the unfused path so per-operator counters stay exact.
         self._fused_fn = None
         self._fused_prefix = 0
+        # Columnar fast path: the same stateless prefix compiled into a
+        # column kernel, applied when the input element is a
+        # ColumnarBatch so no Record is built before the kernel has
+        # mapped/filtered the columns.  Profiling disables it like the
+        # row fusion (the fallback is counted per-operator instead).
+        self._column_kernel = None
+        self._kernel_prefix = 0
         if self._batching and not self._is_source and not operator_profiling:
-            from repro.plan.chaining import compile_batch_chain
+            from repro.plan.chaining import (
+                compile_batch_chain,
+                compile_column_chain,
+            )
             self._fused_fn, self._fused_prefix = compile_batch_chain(
+                [chained.operator for chained in self.chain])
+            self._column_kernel, self._kernel_prefix = compile_column_chain(
                 [chained.operator for chained in self.chain])
         self._fused_all = (self._fused_fn is not None
                            and self._fused_prefix == len(self.chain))
+        self._kernel_all = (self._column_kernel is not None
+                            and self._kernel_prefix == len(self.chain))
+        # Whether kernel output may leave the task AS COLUMNS (every
+        # output edge routes whole batches).  Edges are wired after
+        # construction, so this is resolved lazily on first kernel hit.
+        self._columnar_egress: Optional[bool] = None
+        self._columnar_batches = metrics.counter("columnar_batches_in")
+        self._columnar_fallbacks = metrics.counter("columnar_fallbacks")
 
         #: Per-operator throughput profile (filled when the engine runs
         #: with ``operator_profiling``); parallel to ``self.chain``.
@@ -381,6 +440,9 @@ class Task:
                 _inner(record)
 
             chained.ctx._collector = counting_collector
+            # The bulk tail path would bypass the counting shim; route
+            # everything through it while profiling.
+            chained.ctx.batch_collector = None
 
     def open(self) -> None:
         if self._opened:
@@ -408,6 +470,13 @@ class Task:
         """Chain-tail collector in batched mode: coalesce emissions until
         the buffer fills or a control element forces a flush."""
         self._out_buffer.append(record)
+        if len(self._out_buffer) >= self.batch_size:
+            self._flush_out_buffer()
+
+    def _buffer_output_batch(self, records: List[Record]) -> None:
+        """Bulk variant of :meth:`_buffer_output`: one extend per record
+        run instead of one call per record."""
+        self._out_buffer.extend(records)
         if len(self._out_buffer) >= self.batch_size:
             self._flush_out_buffer()
 
@@ -513,12 +582,20 @@ class Task:
                 break
             progressed = True
             if element.is_batch:
-                records = element.records
-                if len(records) > budget:
+                size = len(element)
+                if size > budget:
                     channel, _ = self.inputs[channel_index]
-                    channel.requeue_front(RecordBatch(records[budget:]))
-                    element = RecordBatch(records[:budget])
-                budget -= len(element.records)
+                    if element.is_columnar:
+                        # Columns slice without materialising rows, so
+                        # the record-exact split stays object-free.
+                        channel.requeue_front(element.slice(budget, size))
+                        element = element.slice(0, budget)
+                    else:
+                        records = element.records
+                        channel.requeue_front(RecordBatch(records[budget:]))
+                        element = RecordBatch(records[:budget])
+                    size = budget
+                budget -= size
             else:
                 budget -= 1
             self._dispatch_input(element, channel_index)
@@ -550,6 +627,10 @@ class Task:
                 if self.quarantine_threshold is None:
                     raise
                 self._quarantine(element, exc)
+        elif element.is_columnar:
+            if len(element):
+                self._records_in.inc(len(element))
+                self._process_columnar(element, channel_index)
         elif element.is_batch:
             records = element.records
             if records:  # chaos drop may have emptied the batch in place
@@ -638,6 +719,85 @@ class Task:
                 self.chain[self._fused_prefix].operator.process_batch(out)
             return
         self.chain[0].operator.process_batch(records)
+
+    def _process_columnar(self, batch: StreamElement,
+                          channel_index: int) -> None:
+        """Run a columnar batch through the chain.
+
+        Fast path: the fused column kernel compiled by
+        :func:`~repro.plan.chaining.compile_column_chain` transforms the
+        parallel column lists directly -- no ``Record`` exists until the
+        kernel's survivors are materialised for the output buffer (or
+        for the first unfused operator).  Anything the kernel cannot
+        cover -- no kernel at the chain head, a second input, pending
+        chaos poison, or quarantine without a fully covered chain --
+        falls back to the row path via the batch's materialised
+        ``records``, identical by construction and counted as a
+        columnar fallback.
+        """
+        _, input_index = self.inputs[channel_index]
+        kernel = self._column_kernel
+        if (kernel is None or input_index != 0
+                or self.poison_next_records > 0
+                or (self.quarantine_threshold is not None
+                    and not self._kernel_all)):
+            self._columnar_fallbacks.inc()
+            if self.operator_stats:
+                self.operator_stats[0].columnar_fallbacks += 1
+            # _process_batch applies the same per-record guards itself.
+            self._process_batch(batch.records, channel_index)
+            return
+        self._columnar_batches.inc()
+        if self.operator_stats:
+            self.operator_stats[0].columnar_batches += 1
+        tracer = self._tracer
+        try:
+            if tracer is None:
+                values, timestamps, keys = kernel(
+                    batch.value_list(), batch.timestamp_list(),
+                    batch.key_list())
+            else:
+                with tracer.span("column_kernel", task=self.vertex_name,
+                                 subtask=self.subtask_index,
+                                 records=len(batch)):
+                    values, timestamps, keys = kernel(
+                        batch.value_list(), batch.timestamp_list(),
+                        batch.key_list())
+        except Exception:
+            if self.quarantine_threshold is None:
+                raise
+            # Kernels are pure: nothing was emitted before the raise, so
+            # a per-record replay quarantines only the poison record.
+            self._process_records_individually(batch.records, input_index)
+            return
+        if not values:
+            return
+        if self._kernel_all:
+            if self._columnar_egress is None:
+                self._columnar_egress = all(
+                    edge.passes_columnar for edge in self.output_edges)
+            if self._columnar_egress:
+                from repro.runtime.columnar import columnar_from_lists
+                out_batch = columnar_from_lists(values, timestamps, keys)
+                if out_batch is not None:
+                    # Channel order: anything still buffered as rows
+                    # (earlier fallback batches, scalar records) must
+                    # leave before this batch does.
+                    if self._out_buffer:
+                        self._flush_out_buffer()
+                    self._records_out.inc(len(out_batch))
+                    for edge in self.output_edges:
+                        edge.emit_columnar(out_batch)
+                    return
+        make = Record
+        out = [make(v, ts, k)
+               for v, ts, k in zip(values, timestamps, keys)]
+        if self._kernel_all:
+            self._out_buffer.extend(out)
+            if len(self._out_buffer) >= self.batch_size:
+                self._flush_out_buffer()
+        else:
+            self.chain[self._kernel_prefix].operator.process_batch(out)
 
     def _process_records_individually(self, records: List[Record],
                                       input_index: int) -> None:

@@ -36,10 +36,12 @@ def _mp_config(**kwargs):
 # -- differential parity over fuzzed window cases ---------------------------
 
 
+@pytest.mark.parametrize("exchange", ["pipe", "shm"])
 @pytest.mark.parametrize("case_index", range(3))
-def test_windowed_aggregation_parity(case_index):
+def test_windowed_aggregation_parity(case_index, exchange):
     """Oracle-generated event-time window jobs: cooperative ==
-    multiprocess, element for element."""
+    multiprocess, element for element -- over both exchange transports
+    (pickle pipes and columnar shared-memory rings)."""
     oracle = WindowedEquivalenceOracle()
     rng = rng_for(11, "mp-parity", case_index)
     case = oracle.generate(rng, 11, case_index)
@@ -50,13 +52,15 @@ def test_windowed_aggregation_parity(case_index):
         params["ooo_bound"], parallelism=2, config=EngineConfig())
     multiproc, job = run_streaming_windows(
         list(case.stream), params["assigner"], params["aggregate"],
-        params["ooo_bound"], parallelism=2, config=_mp_config())
+        params["ooo_bound"], parallelism=2,
+        config=_mp_config(exchange=exchange))
 
     assert multiproc == cooperative, case.seed_line
     assert job.rounds > 0
 
 
-def test_keyed_reduce_parity_with_hash_exchange():
+@pytest.mark.parametrize("exchange", ["pipe", "shm"])
+def test_keyed_reduce_parity_with_hash_exchange(exchange):
     """Keys hash-partitioned across the two workers: per-key totals must
     match the cooperative run exactly (and the run-stable hash_key means
     the *placement* is identical too)."""
@@ -72,7 +76,7 @@ def test_keyed_reduce_parity_with_hash_exchange():
         return collected.get()
 
     cooperative = run(EngineConfig())
-    multiproc = run(_mp_config())
+    multiproc = run(_mp_config(exchange=exchange, batch_size=16))
     # sum() emits running (key, total) pairs; the final per-key total
     # must agree.
     assert _final_by_key(multiproc) == _final_by_key(cooperative)
@@ -218,6 +222,45 @@ def test_job_report_federates_workers():
     operators = report["operators"]
     assert operators, "per-operator rows missing from federated report"
     assert sum(row["records_in"] for row in operators) > 0
+
+
+def test_job_report_exchange_accounting():
+    """In shm mode the report carries per-edge serialization accounting:
+    bytes shipped, frames per transport and pickle-fallback counts."""
+    env = Environment(parallelism=2, config=_mp_config(batch_size=16))
+    collected = (env.from_collection(range(500))
+                 .key_by(lambda v: v % 5)
+                 .sum()
+                 .collect())
+    env.execute()
+    assert collected.get()
+    exchange = env.job_report()["exchange"]
+    assert exchange["transport"] == "shm"
+    # 2 workers -> 2 directed edges, each with the full stat row.
+    assert len(exchange["edges"]) == 2
+    for row in exchange["edges"]:
+        assert {"src", "dst", "shm_frames", "shm_bytes", "pipe_frames",
+                "pickle_fallbacks"} <= set(row)
+    totals = exchange["totals"]
+    assert totals["shm_records"] > 0, "no batch ever took the ring"
+    assert totals["control_frames"] > 0, "EOS/watermarks must take the pipe"
+    assert totals["shm_bytes"] > 0
+
+
+def test_pipe_transport_remains_selectable():
+    """exchange='pipe' forces the legacy transport end to end."""
+    env = Environment(parallelism=2,
+                      config=_mp_config(exchange="pipe", batch_size=16))
+    collected = (env.from_collection(range(100))
+                 .key_by(lambda v: v % 3)
+                 .sum()
+                 .collect())
+    env.execute()
+    assert collected.get()
+    exchange = env.job_report()["exchange"]
+    assert exchange["transport"] == "pipe"
+    assert exchange["totals"]["shm_frames"] == 0
+    assert exchange["totals"]["pipe_records"] > 0
 
 
 def test_interactive_state_apis_rejected():

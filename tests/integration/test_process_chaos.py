@@ -250,6 +250,30 @@ def test_seeded_battery(tmp_path, seed):
     _assert_no_zombies()
 
 
+def test_sigkill_with_batched_shm_exchange(tmp_path):
+    """A mid-run SIGKILL while columnar frames are in flight on the
+    rings: the respawned fleet gets *fresh* rings (nothing of the dead
+    attempt's slots survives), restores from the durable checkpoint and
+    converges to the exact unfaulted output.  Deliberately tiny rings so
+    the run also exercises the ring-full pipe fallback under chaos."""
+    expected = _expected_lines(tmp_path)
+    schedule = [ProcessFaultEvent(300, KILL_WORKER, target=0)]
+    config = _chaos_config(tmp_path, schedule, seed=13,
+                           batch_size=16, exchange="shm",
+                           exchange_ring_slots=2,
+                           exchange_slot_bytes=4096)
+    lines, job, env = _run_job(config, str(tmp_path / "out.txt"))
+
+    assert config.process_chaos.applied, "the kill never fired"
+    assert job.restarts >= 1
+    assert lines == expected
+    _assert_no_zombies()
+    exchange = env.job_report()["exchange"]
+    assert exchange["transport"] == "shm"
+    assert exchange["totals"]["shm_frames"] > 0, (
+        "batched shm chaos run never used the rings")
+
+
 # -- shutdown hygiene --------------------------------------------------------
 
 
