@@ -37,6 +37,18 @@ SLIDE = 100
 QUERY_COUNTS = [1, 4, 16, 64]
 STREAM = dense_stream(5_000)
 
+#: The arrangement leg: m concurrent *table* queries (group-bys over two
+#: key sets) either share a handful of multiversioned arrangements or
+#: are planned independently.  The gated metric is the summed
+#: records-in/record of every operator -- the logical work the engine
+#: performed, deterministic on any machine.
+ARRANGEMENT_QUERY_COUNTS = [1, 16, 64, 256]
+ARRANGEMENT_ROWS = [{"user": "u%02d" % (i % 32), "bucket": i % 8,
+                     "amount": float(i % 97), "ts": i}
+                    for i in range(1_500)]
+ARRANGEMENT_AGGS = [("revenue", ("sum", "amount")), ("n", ("count", None)),
+                    ("lo", ("min", "amount")), ("hi", ("max", "amount"))]
+
 
 def _query_sizes(count):
     rng = bench_rng("e2-query-sizes")
@@ -75,6 +87,42 @@ def _run_unshared_cutty(sizes):
     return aggregator.counter
 
 
+def _run_arrangement_queries(count, share):
+    """Ops/record and peak index bytes for ``count`` table queries with
+    arrangement sharing on or off."""
+    from repro.api import Environment
+    from repro.runtime.engine import EngineConfig
+
+    env = Environment(config=EngineConfig(share_arrangements=share))
+    table = env.table(ARRANGEMENT_ROWS, time_column="ts")
+    results = []
+    for index in range(count):
+        name, spec = ARRANGEMENT_AGGS[index % len(ARRANGEMENT_AGGS)]
+        key = ("user",) if index % 2 == 0 else ("user", "bucket")
+        results.append(table.group_by(*key).agg(**{name: spec}).collect())
+    env.execute()
+    for result in results:
+        result.get()
+    report = env.job_report()
+    ops = sum(op["records_in"] for op in report["operators"])
+    peak_bytes = sum(row["bytes_peak"]
+                     for row in report.get("arrangements") or [])
+    return ops / len(ARRANGEMENT_ROWS), peak_bytes
+
+
+def arrangement_sweep():
+    """shared vs independent ops/record (and shared peak index bytes)
+    per concurrent-query count."""
+    table = {}
+    peaks = {}
+    for count in ARRANGEMENT_QUERY_COUNTS:
+        table[("arr-shared", count)], peaks[count] = \
+            _run_arrangement_queries(count, share=True)
+        table[("arr-independent", count)], _ = \
+            _run_arrangement_queries(count, share=False)
+    return table, peaks
+
+
 def sweep():
     table = {}
     for count in QUERY_COUNTS:
@@ -95,16 +143,29 @@ def build_payload():
     benchmarks/perf_smoke.py; the pipeline here is aggregator-level, so
     batched transport does not apply and mode is always "scalar"."""
     table = sweep()
+    arrangement_table, arrangement_peaks = arrangement_sweep()
     sizes = _query_sizes(64)
     start = time.perf_counter()
     _run_shared(sizes)
     elapsed = time.perf_counter() - start
+    ops = {"%s@%d" % key: round(value, 4) for key, value in table.items()}
+    ops.update({"%s@%d" % key: round(value, 4)
+                for key, value in arrangement_table.items()})
     return {
         "experiment": "e2_multiquery_sharing",
         "mode": "scalar",
         "records": len(STREAM),
-        "ops_per_record": {"%s@%d" % key: round(value, 4)
-                           for key, value in table.items()},
+        "ops_per_record": ops,
+        "arrangements": {
+            "records": len(ARRANGEMENT_ROWS),
+            "speedup_shared_vs_independent": {
+                str(count): round(
+                    arrangement_table[("arr-independent", count)]
+                    / arrangement_table[("arr-shared", count)], 2)
+                for count in ARRANGEMENT_QUERY_COUNTS},
+            "peak_index_bytes": {str(count): peak for count, peak
+                                 in arrangement_peaks.items()},
+        },
         "shared_m64_records_per_sec": round(len(STREAM) / elapsed, 1),
         "shared_m64_seconds": round(elapsed, 4),
         "p50_round_latency_ms": None,   # no engine rounds at this level
@@ -125,6 +186,17 @@ def test_e2_multi_query_sharing(benchmark):
         title="E2: aggregate ops/record vs concurrent queries "
               "(slide=%dms, %d records)" % (SLIDE, len(STREAM))))
 
+    ops = payload["ops_per_record"]
+    arr_rows = [[count, ops["arr-shared@%d" % count],
+                 ops["arr-independent@%d" % count],
+                 payload["arrangements"]["speedup_shared_vs_independent"]
+                 [str(count)]]
+                for count in ARRANGEMENT_QUERY_COUNTS]
+    record("e2_arrangements", format_table(
+        ["#queries", "shared", "independent", "speedup"], arr_rows,
+        title="E2: table-query ops/record, shared arrangements vs "
+              "independent plans (%d records)" % len(ARRANGEMENT_ROWS)))
+
     # Sharing is sublinear in m; eager is ~linear.
     growth_shared = table[("shared-cutty", 64)] / table[("shared-cutty", 1)]
     growth_eager = (table[("unshared-eager", 64)]
@@ -133,3 +205,7 @@ def test_e2_multi_query_sharing(benchmark):
     # The "order of magnitudes" claim at m=64.
     assert (table[("unshared-eager", 64)]
             > 50 * table[("shared-cutty", 64)])
+    # Arrangement sharing pays off by m=16 and compounds from there.
+    speedups = payload["arrangements"]["speedup_shared_vs_independent"]
+    assert speedups["64"] >= 3.0
+    assert speedups["256"] >= speedups["64"]

@@ -147,6 +147,22 @@ def check_baseline(e5, e2) -> List[str]:
         print("e2 ops/record: %d metrics within +25%% of baseline"
               % len(baseline_e2["ops_per_record"]))
 
+    # Shared arrangements must keep paying for themselves: the fresh
+    # logical-work ratio (independent/shared) at 64 concurrent table
+    # queries is gated at an absolute 3x floor, not merely against the
+    # committed baseline.
+    arrangements = e2.get("arrangements")
+    if arrangements is None:
+        problems.append("e2 arrangements section missing from fresh run")
+    else:
+        speedup = arrangements["speedup_shared_vs_independent"]["64"]
+        print("e2 arrangement sharing at 64 queries: %.2fx "
+              "(floor 3.00x)" % speedup)
+        if speedup < 3.0:
+            problems.append(
+                "arrangement sharing speedup at 64 queries below the "
+                "3x floor: %.2fx" % speedup)
+
     return problems
 
 

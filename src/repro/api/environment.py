@@ -19,7 +19,7 @@ deprecated alias.
 from __future__ import annotations
 
 import warnings
-from typing import Any, Callable, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.plan.chaining import build_job_graph
 from repro.plan.explain import explain_job_graph, explain_stream_graph
@@ -78,6 +78,8 @@ class Environment:
         self.graph = StreamGraph()
         self._collect_results: List[CollectResult] = []
         self._last_engine: Optional[Engine] = None
+        self._table_catalog: "Dict[str, Any]" = {}
+        self._arrangement_catalog = None
 
     # -- sources ----------------------------------------------------------
 
@@ -161,6 +163,55 @@ class Environment:
         """The batch entry point: read data at rest into a DataSet
         (alias of :meth:`from_bounded`)."""
         return self.from_bounded(values, name=name)
+
+    # -- relational tables ---------------------------------------------------
+
+    def table(self, rows: "Iterable[Any]",
+              columns: Optional[tuple] = None,
+              bounded: bool = True,
+              time_column: Optional[str] = None,
+              watermark_delay: int = 0,
+              name: str = "rows"):
+        """A relational :class:`~repro.table.table.Table` over dict rows.
+
+        ``bounded=False`` marks the relation as streaming (windowed
+        aggregations become available, ``time_column`` required).  Tables
+        built here are what the arrangement catalog shares state across:
+        register them (:meth:`register_table`) and reuse the *same* table
+        object in many queries so their group-bys and joins attach to
+        one maintained index.
+        """
+        from repro.table.table import make_table
+        return make_table(self, list(rows), columns=columns,
+                          bounded=bounded, time_column=time_column,
+                          watermark_delay=watermark_delay, name=name)
+
+    def register_table(self, name: str, table: Any):
+        """Publish a table in this environment's catalog so later
+        queries can look it up (and thereby share its arrangements)."""
+        from repro.table.table import Table
+        if not isinstance(table, Table):
+            raise TypeError("register_table expects a Table; got %r"
+                            % type(table).__name__)
+        if table.env is not self:
+            raise ValueError(
+                "table %r belongs to a different environment" % name)
+        self._table_catalog[name] = table
+        return table
+
+    def table_catalog(self) -> "Dict[str, Any]":
+        """Registered tables by name (a copy; mutate via
+        :meth:`register_table`)."""
+        return dict(self._table_catalog)
+
+    def arrangement_catalog(self):
+        """The per-environment shared-arrangement catalog (created
+        lazily; used by the Table compiler when
+        ``EngineConfig(share_arrangements=True)``)."""
+        if self._arrangement_catalog is None:
+            from repro.table.arrangements import ArrangementCatalog
+            self._arrangement_catalog = ArrangementCatalog(self)
+        return self._arrangement_catalog
 
     # -- hybrid history+stream composition ----------------------------------
 

@@ -146,6 +146,17 @@ class MetricsReporter:
                                     per_query["combines"]))
             blocks.append("== cutty sharing ==\n" + "\n".join(lines))
 
+        arrangements = sections.get("arrangements")
+        if arrangements:
+            rows = [[row["arrangement"], row["subtask"], row["readers"],
+                     row["readers_peak"], row["versions"],
+                     row["compaction_lag"], row["compactions"],
+                     row["rows"], row["bytes"]]
+                    for row in arrangements]
+            blocks.append("== arrangements ==\n" + _format_table(
+                ["arrangement", "subtask", "readers", "peak", "versions",
+                 "lag", "compactions", "rows", "bytes"], rows))
+
         spans = sections.get("spans")
         if spans:
             lines = ["  %-28s %d" % (name, count)
@@ -237,6 +248,18 @@ class MetricsReporter:
                      query_labels, "counter")
                 emit("cutty_query_combines_total", per_query["combines"],
                      query_labels, "counter")
+
+        for row in sections.get("arrangements", []):
+            labels = {"arrangement": row["arrangement"],
+                      "subtask": row["subtask"]}
+            emit("arrangement_readers", row["readers"], labels)
+            emit("arrangement_readers_peak", row["readers_peak"], labels)
+            emit("arrangement_versions", row["versions"], labels)
+            emit("arrangement_compaction_lag", row["compaction_lag"], labels)
+            emit("arrangement_compactions_total", row["compactions"], labels,
+                 "counter")
+            emit("arrangement_rows", row["rows"], labels)
+            emit("arrangement_index_bytes", row["bytes"], labels)
 
         spans = sections.get("spans")
         if spans:

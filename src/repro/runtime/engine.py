@@ -119,6 +119,8 @@ class EngineConfig:
                  quarantine_threshold: Optional[int] = None,
                  chaos: Optional["ChaosInjector"] = None,
                  observability: Any = None,
+                 share_arrangements: bool = True,
+                 arrangement_compaction_interval: int = 8,
                  **unknown: Any) -> None:
         if unknown:
             raise TypeError(_unknown_options_message(unknown))
@@ -186,6 +188,8 @@ class EngineConfig:
                 "tolerable_consecutive_checkpoint_failures must be >= 0")
         if quarantine_threshold is not None and quarantine_threshold < 0:
             raise ValueError("quarantine_threshold must be >= 0")
+        if arrangement_compaction_interval < 1:
+            raise ValueError("arrangement_compaction_interval must be >= 1")
         #: Which execution backend runs the job: ``"cooperative"`` (the
         #: deterministic single-process reference scheduler) or
         #: ``"multiprocess"`` (shared-nothing OS-process workers with
@@ -268,6 +272,19 @@ class EngineConfig:
         self.quarantine_threshold = quarantine_threshold
         #: Deterministic fault injection (see :mod:`repro.runtime.faults`).
         self.chaos = chaos
+        #: Let the Table optimizer rewire group-by/join plans onto shared
+        #: arrangements: queries whose keyed input matches an existing
+        #: arrangement's (source, plan-prefix fingerprint, key) attach a
+        #: read handle to the one maintained index instead of building
+        #: their own (see :mod:`repro.state.arrangement` and
+        #: ``docs/arrangements.md``).  Results are identical either way;
+        #: disable to force independent per-query state.
+        self.share_arrangements = share_arrangements
+        #: Compact an arrangement every this-many sealed versions:
+        #: deltas below every attached reader's low watermark fold into
+        #: the base, keeping version count and index memory flat under a
+        #: steady watermark.  Lower = flatter memory, more fold work.
+        self.arrangement_compaction_interval = arrangement_compaction_interval
         #: Normalized observability settings: ``None`` (disabled) or an
         #: :class:`~repro.observability.ObservabilityConfig`.
         self.observability = ObservabilityConfig.normalize(observability)
@@ -956,17 +973,16 @@ class Engine:
             "cutty": collect_cutty_stats(self),
         }
 
-        cutover = []
-        for task in self.tasks:
-            head = task.chain[0].operator
-            report_fn = getattr(head, "cutover_report", None)
-            if callable(report_fn):
-                row = {"operator": task.vertex_name,
-                       "subtask": task.subtask_index}
-                row.update(report_fn())
-                cutover.append(row)
+        cutover = [row for task in self.tasks
+                   for row in task.operator_reports("cutover_report")]
         if cutover:
             sections["cutover"] = cutover
+
+        arrangements = [
+            row for task in self.tasks
+            for row in task.operator_reports("arrangement_report")]
+        if arrangements:
+            sections["arrangements"] = arrangements
 
         if obs is not None:
             skew = obs.registry.gauge("watermark_skew_ms")

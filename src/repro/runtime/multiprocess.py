@@ -1539,6 +1539,13 @@ class MultiprocessEngine:
         if cutover:
             cutover.sort(key=lambda row: (row["operator"], row["subtask"]))
             sections["cutover"] = cutover
+        arrangements: List[Dict[str, Any]] = []
+        for worker_sections in self._worker_sections:
+            arrangements.extend(worker_sections.get("arrangements", []))
+        if arrangements:
+            arrangements.sort(
+                key=lambda row: (row["operator"], row["subtask"]))
+            sections["arrangements"] = arrangements
         fleet: Dict[str, Any] = {
             "shutdown": {"terminated": self._workers_terminated,
                          "killed": self._workers_killed},

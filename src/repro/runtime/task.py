@@ -387,6 +387,20 @@ class Task:
         # channel occupancies without re-walking the edge structure.
         self._output_channels.extend(edge.channels)
 
+    def operator_reports(self, attr: str) -> List[Dict[str, Any]]:
+        """Rows from every chained operator exposing an ``attr()`` report
+        method -- how ``job_report`` assembles per-operator sections
+        (cutover, arrangements) without knowing operator types."""
+        rows: List[Dict[str, Any]] = []
+        for chained in self.chain:
+            report_fn = getattr(chained.operator, attr, None)
+            if callable(report_fn):
+                row: Dict[str, Any] = {"operator": self.vertex_name,
+                                       "subtask": self.subtask_index}
+                row.update(report_fn())
+                rows.append(row)
+        return rows
+
     def _instrument_chain(self) -> None:
         """Wrap every chained operator's process entry points and its
         collector with counting/timing shims (``operator_profiling``).
@@ -1059,3 +1073,173 @@ class Task:
             self._flush_out_buffer()
         for edge in self.output_edges:
             edge.broadcast(element)
+
+
+# ---------------------------------------------------------------------------
+# Shared-arrangement operators
+#
+# One ArrangeOperator maintains a ShardedArrangement shard; any number of
+# reader operators (scan / join) attach snapshot handles to it.  The
+# correctness hinge is pure dataflow ordering: the arrange task seals the
+# final version in ``finish()`` *before* broadcasting END_OF_STREAM, and
+# every reader's control input comes from the arrange node, so a reader's
+# ``finish()`` can only run after the arrangement is complete.
+
+
+class ArrangeOperator(Operator):
+    """Maintains one shard of a shared multiversioned index.
+
+    Emits no records -- its task forwards watermarks and end-of-stream
+    to the reader nodes as the control signal for snapshot advancement.
+    Each watermark advance seals a version; every
+    ``compaction_interval`` sealed versions, deltas below the readers'
+    low watermark fold into the base (bounded memory under a steady
+    watermark).
+    """
+
+    def __init__(self, sharded: "Any", key_fn: Callable[[Any], Any],
+                 name: str = "arrange") -> None:
+        super().__init__()
+        self.name = name
+        self._sharded = sharded
+        self._key_fn = key_fn
+        self._shard = None
+        self._seals_since_compaction = 0
+
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        # Restart-from-scratch rebuilds the dataflow with fresh operator
+        # instances over the same closed-over ShardedArrangement: reset
+        # the shard so replayed input is not double-counted and reader
+        # handles of discarded operator instances are dropped.
+        self._shard = self._sharded.shard(ctx.subtask_index)
+        self._shard.reset()
+        self._seals_since_compaction = 0
+
+    def process(self, record: Record) -> None:
+        row = record.value
+        self._shard.insert(self._key_fn(row), row)
+
+    def on_watermark(self, timestamp: int) -> None:
+        if timestamp <= MIN_TIMESTAMP:
+            return
+        sealed_before = self._shard.sealed
+        self._shard.seal(min(timestamp, MAX_TIMESTAMP))
+        if self._shard.sealed > sealed_before:
+            self._seals_since_compaction += 1
+        if self._seals_since_compaction >= self._shard.compaction_interval:
+            self._shard.compact()
+            self._seals_since_compaction = 0
+
+    def finish(self) -> None:
+        self._shard.seal_final()
+
+    def snapshot_state(self) -> Any:
+        return self._shard.snapshot()
+
+    def restore_state(self, state: Any) -> None:
+        self._shard.restore(state)
+
+    def arrangement_report(self) -> Dict[str, Any]:
+        return self._shard.stats()
+
+
+class _ArrangementReader(Operator):
+    """Shared handle plumbing for arrangement reader operators.
+
+    Handles attach *lazily* (first watermark / finish), never in
+    ``open``: build order is unspecified, so the arrange operator's
+    ``open`` may reset the shard after this operator opened."""
+
+    def __init__(self, sharded: "Any", name: str) -> None:
+        super().__init__()
+        self.name = name
+        self._sharded = sharded
+        self._handle = None
+
+    def _ensure_handle(self):
+        if self._handle is None or not self._handle.attached:
+            shard = self._sharded.shard(self.ctx.subtask_index)
+            self._handle = shard.attach()
+        return self._handle
+
+    def on_watermark(self, timestamp: int) -> None:
+        if timestamp <= MIN_TIMESTAMP:
+            return
+        self._ensure_handle().advance_to(timestamp)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.detach()
+            self._handle = None
+
+
+class ArrangementScanOperator(_ArrangementReader):
+    """Serves one group-by query from a shared arrangement: folds each
+    key's arranged rows with the query's own ``reduce_fn`` at end of
+    input.  Key iteration is sorted by ``repr`` to match
+    :class:`~repro.runtime.batch.GroupReduceOperator`, so a shared plan
+    is byte-identical to the independently planned one."""
+
+    def __init__(self, sharded: "Any",
+                 reduce_fn: Callable[[Any, List[Any]], Any],
+                 name: str = "arrangement-scan") -> None:
+        super().__init__(sharded, name)
+        self._reduce_fn = reduce_fn
+
+    def process(self, record: Record) -> None:
+        raise RuntimeError(
+            "arrangement scan has no data input; it reads via its handle")
+
+    def finish(self) -> None:
+        grouped = self._ensure_handle().read_frontier()
+        for key in sorted(grouped, key=repr):
+            self.ctx.emit(self._reduce_fn(key, grouped[key]))
+
+
+class ArrangementJoinOperator(_ArrangementReader):
+    """Probes an arranged right side with this query's left input.
+
+    Input 0 buffers left rows per key; input 1 is the control edge from
+    the arrange node (watermarks and end-of-stream only).  ``finish``
+    replays arranged rows in arrival order, matching
+    :class:`~repro.runtime.batch.HashJoinOperator`'s right-side
+    iteration exactly."""
+
+    def __init__(self, sharded: "Any", left_key: Callable[[Any], Any],
+                 join_fn: Callable[[Any, Any], Any],
+                 name: str = "arrangement-join") -> None:
+        super().__init__(sharded, name)
+        self._left_key = left_key
+        self._join_fn = join_fn
+        self._left: Dict[Any, List[Any]] = {}
+
+    def process(self, record: Record) -> None:
+        value = record.value
+        self._left.setdefault(self._left_key(value), []).append(value)
+
+    def process2(self, record: Record) -> None:
+        raise RuntimeError(
+            "the arrangement control input carries no records")
+
+    def finish(self) -> None:
+        handle = self._ensure_handle()
+        for key, right_row in handle.read_frontier_rows():
+            for left_value in self._left.get(key, ()):
+                self.ctx.emit(self._join_fn(left_value, right_row))
+        self._left.clear()
+
+    def snapshot_state(self) -> Any:
+        return {"left": {key: list(values)
+                         for key, values in self._left.items()}}
+
+    def restore_state(self, state: Any) -> None:
+        self._left = {key: list(values)
+                      for key, values in state["left"].items()}
+
+    def rescale_operator_state(self, states, subtask_index: int,
+                               parallelism: int) -> Any:
+        from repro.runtime.operators import rescale_keyed_dict_state
+        return {"left": rescale_keyed_dict_state(
+            [state["left"] for state in states if state],
+            subtask_index, parallelism)}

@@ -1,6 +1,12 @@
 """Keyed state, state backends and checkpointing (asynchronous barrier
 snapshotting)."""
 
+from repro.state.arrangement import (
+    Arrangement,
+    ArrangementHandle,
+    ShardedArrangement,
+    VersionCompactedError,
+)
 from repro.state.backend import KeyedStateBackend
 from repro.state.checkpoint import (
     CheckpointStore,
@@ -29,6 +35,10 @@ from repro.state.descriptors import (
 )
 
 __all__ = [
+    "Arrangement",
+    "ArrangementHandle",
+    "ShardedArrangement",
+    "VersionCompactedError",
     "KeyedStateBackend",
     "OperatorSnapshot",
     "Savepoint",

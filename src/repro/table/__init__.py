@@ -1,9 +1,12 @@
 """The declarative Table layer: relational operations over dict rows,
 compiled through a rule-based optimizer onto the unified engine."""
 
-from repro.table.optimizer import optimize
+from repro.table.arrangements import ArrangementCatalog
+from repro.table.optimizer import optimize, rewrite_shared_arrangements
 from repro.table.plan import (
+    ArrangementScan,
     GroupAgg,
+    Join,
     Scan,
     Select,
     Session,
@@ -11,11 +14,18 @@ from repro.table.plan import (
     Tumble,
     Where,
     WindowAgg,
+    plan_fingerprint,
 )
-from repro.table.table import GroupedTable, Table, WindowedTable
+from repro.table.table import GroupedTable, Table, WindowedTable, make_table
 
 __all__ = [
+    "ArrangementCatalog",
+    "ArrangementScan",
+    "Join",
     "optimize",
+    "rewrite_shared_arrangements",
+    "plan_fingerprint",
+    "make_table",
     "GroupAgg",
     "Scan",
     "Select",

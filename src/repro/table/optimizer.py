@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import List, Set
 
 from repro.table.plan import (
+    ArrangementScan,
     GroupAgg,
     Join,
     LogicalOp,
@@ -32,13 +33,67 @@ from repro.table.plan import (
 )
 
 
-def optimize(ops: List[LogicalOp]) -> List[LogicalOp]:
+def optimize(ops: List[LogicalOp],
+             share_arrangements: bool = False) -> List[LogicalOp]:
     ops = list(ops)
     changed = True
     while changed:
         changed = push_down_predicates(ops) or fuse_filters(ops)
+    if share_arrangements:
+        # The sharing rewrite must see the *pre-pruning* prefix: pruning
+        # narrows each query's scan to its own needs, which would give
+        # otherwise-identical inputs different fingerprints.  The
+        # arrangement stores full input rows precisely so that many
+        # queries with different output columns can share it.
+        ops = rewrite_shared_arrangements(ops)
     ops = prune_projection(ops)
     ops = remove_identity_selects(ops)
+    return ops
+
+
+def _arrangeable_prefix(ops: List[LogicalOp]) -> bool:
+    """A plan (prefix) can feed an arrangement iff it is a bounded scan
+    followed only by stateless row ops -- exactly what the arrange
+    operator can maintain incrementally under one key."""
+    if not ops or not isinstance(ops[0], Scan) or not ops[0].bounded:
+        return False
+    return all(isinstance(op, (Scan, Where, Select)) for op in ops)
+
+
+def rewrite_shared_arrangements(ops: List[LogicalOp]) -> List[LogicalOp]:
+    """Rewire group-bys and joins onto shared ``ArrangementScan`` nodes.
+
+    Two rules, both conservative (a plan that does not match runs
+    exactly as before):
+
+    * ``Scan (Where|Select)* GroupAgg ...`` -- the head becomes a
+      ``group`` ArrangementScan capturing the prefix and group keys.
+    * ``... Join ...`` whose right table's optimized plan is stateless
+      -- the Join becomes a ``join`` ArrangementScan arranging the
+      right side by the join columns.
+
+    Queries whose (prefix fingerprint, keys) match attach to the same
+    maintained index at compile time (see
+    :class:`repro.table.arrangements.ArrangementCatalog`).
+    """
+    if any(isinstance(op, WindowAgg) for op in ops):
+        return ops  # event-time plans keep the dedicated window path
+    ops = list(ops)
+    for index, op in enumerate(ops):
+        if isinstance(op, GroupAgg) and _arrangeable_prefix(ops[:index]):
+            head = ArrangementScan("group", op.keys, prefix=ops[:index],
+                                   aggregations=op.aggregations)
+            ops = [head] + ops[index + 1:]
+            break  # the rewritten head is no longer a Scan prefix
+    for index, op in enumerate(ops):
+        if not isinstance(op, Join):
+            continue
+        right_plan = optimize(op.right_table.logical_plan())
+        if not _arrangeable_prefix(right_plan):
+            continue
+        ops[index] = ArrangementScan(
+            "join", op.on, prefix=right_plan,
+            right_table=op.right_table, right_columns=op.right_columns)
     return ops
 
 
@@ -102,8 +157,12 @@ def prune_projection(ops: List[LogicalOp]) -> List[LogicalOp]:
             needed |= op.reads
             terminal_needs_all = False
             break
-        elif isinstance(op, Join):
-            break  # every left column flows through the join: no pruning
+        elif isinstance(op, (Join, ArrangementScan)):
+            # Every left column flows through the join: no pruning, but
+            # record the threaded reads (the join keys) so the scan is
+            # never narrowed below what the probe needs.
+            needed |= op.reads
+            break
     if terminal_needs_all:
         return ops  # plan ends in raw rows: every column is observable
     keep = tuple(column for column in scan.columns if column in needed)

@@ -18,6 +18,7 @@ projection pruning.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
 Row = Dict[str, Any]
@@ -169,24 +170,122 @@ class Join(LogicalOp):
 
     def __init__(self, on: Tuple[str, ...],
                  right_columns: Tuple[str, ...],
-                 right_table: Any) -> None:
+                 right_table: Any,
+                 reads: Optional[Tuple[str, ...]] = None) -> None:
         if not on:
             raise ValueError("join needs at least one key column")
         self.on = tuple(on)
         self.right_columns = tuple(right_columns)
         self.right_table = right_table
+        # Explicit column metadata, threaded through the plan the same
+        # way Where.reads is: what the join reads from its *left* input.
+        # The arrangement rewrite needs this to fingerprint join inputs.
+        self.reads = frozenset(reads if reads is not None else on)
 
     def columns_out(self, columns_in: Tuple[str, ...]) -> Tuple[str, ...]:
         extra = tuple(column for column in self.right_columns
                       if column not in columns_in)
         return columns_in + extra
 
-    @property
-    def reads(self) -> FrozenSet[str]:
-        return frozenset(self.on)
-
     def __repr__(self) -> str:
         return "Join(on=%s)" % ",".join(self.on)
+
+
+class ArrangementScan(LogicalOp):
+    """Read from a shared arrangement instead of building fresh state.
+
+    Placed by the optimizer's sharing rewrite
+    (:func:`repro.table.optimizer.rewrite_shared_arrangements`):
+
+    * ``kind == "group"`` replaces ``Scan .. GroupAgg`` at the head of a
+      plan: the arrangement holds the (filtered/projected) input rows
+      keyed by the group keys; the compiled operator folds each key's
+      rows with the query's own aggregations.
+    * ``kind == "join"`` replaces a ``Join`` mid-plan: the arrangement
+      holds the *right* table's rows keyed by the join columns; the
+      compiled operator probes it with the left stream.
+
+    ``prefix`` is the arranged input's logical plan (Scan/Where/Select
+    only); its :func:`plan_fingerprint` plus the key columns identify
+    which arrangement to share.
+    """
+
+    def __init__(self, kind: str, keys: Tuple[str, ...],
+                 prefix: List["LogicalOp"],
+                 aggregations: Optional[AggSpec] = None,
+                 right_table: Any = None,
+                 right_columns: Tuple[str, ...] = ()) -> None:
+        if kind not in ("group", "join"):
+            raise ValueError("kind must be 'group' or 'join'")
+        self.kind = kind
+        self.keys = tuple(keys)
+        self.prefix = list(prefix)
+        self.aggregations = dict(aggregations) if aggregations else None
+        self.right_table = right_table
+        self.right_columns = tuple(right_columns)
+        self.fingerprint = plan_fingerprint(self.prefix)
+
+    def columns_out(self, columns_in: Tuple[str, ...]) -> Tuple[str, ...]:
+        if self.kind == "group":
+            return self.keys + tuple(self.aggregations or ())
+        extra = tuple(column for column in self.right_columns
+                      if column not in columns_in)
+        return columns_in + extra
+
+    @property
+    def reads(self) -> FrozenSet[str]:
+        return frozenset(self.keys)
+
+    def __repr__(self) -> str:
+        return "ArrangementScan(%s on=%s, prefix=%s)" % (
+            self.kind, ",".join(self.keys), self.fingerprint[:8])
+
+
+def _code_token(fn: Callable[..., Any]) -> str:
+    """A process-local equality token for a callable: two callables with
+    the same bytecode, constants, names, defaults and closure values get
+    the same token, so structurally identical predicates written in two
+    places still share an arrangement.  Falls back to object identity
+    when there is no inspectable code object (builtins, partials) --
+    conservative non-sharing is always correct."""
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return "obj:%d" % id(fn)
+    digest = hashlib.sha1(code.co_code)
+    digest.update(repr(code.co_consts).encode())
+    digest.update(repr(code.co_names).encode())
+    digest.update(repr(getattr(fn, "__defaults__", None)).encode())
+    closure = getattr(fn, "__closure__", None)
+    if closure:
+        for cell in closure:
+            try:
+                digest.update(repr(cell.cell_contents)[:128].encode())
+            except ValueError:  # empty cell
+                digest.update(b"<empty>")
+    return digest.hexdigest()
+
+
+def plan_fingerprint(ops: List[LogicalOp]) -> str:
+    """Fingerprint of a stateless plan prefix (Scan/Where/Select).  Two
+    queries whose arranged input has the same fingerprint -- same source
+    relation, same filters, same projections -- can share one maintained
+    index.  Unknown op kinds hash by identity: never falsely shared."""
+    digest = hashlib.sha1()
+    for op in ops:
+        if isinstance(op, Scan):
+            token = "scan:%s:%s:%s" % (",".join(op.columns), op.bounded,
+                                       op.name)
+        elif isinstance(op, Where):
+            token = "where:%s" % _code_token(op.predicate)
+        elif isinstance(op, Select):
+            derived = ",".join("%s=%s" % (name, _code_token(fn))
+                               for name, fn in sorted(op.derived.items()))
+            token = "select:%s:%s" % (",".join(op.keep), derived)
+        else:
+            token = "op:%d" % id(op)
+        digest.update(token.encode())
+        digest.update(b"|")
+    return digest.hexdigest()
 
 
 class WindowDef:

@@ -20,11 +20,13 @@ rule-based optimizer has rewritten the logical plan.
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.table.optimizer import optimize
 from repro.table.plan import (
     AggSpec,
+    ArrangementScan,
     GroupAgg,
     Join as _JoinOp,
     LogicalOp,
@@ -125,6 +127,36 @@ class _RowAggregates(AggregateFunction):
                 for name, m, a in zip(self._names, self._members, acc)}
 
 
+def make_table(env, rows: List[Row],
+               columns: Optional[Tuple[str, ...]] = None,
+               bounded: bool = True,
+               time_column: Optional[str] = None,
+               watermark_delay: int = 0,
+               name: str = "rows") -> "Table":
+    """A relation over an in-memory list of dict rows (the implementation
+    behind ``env.table``).
+
+    ``bounded=False`` marks the relation as streaming: windowed
+    aggregations become available (``time_column`` required) and
+    bounded-only ops (plain ``group_by``) are rejected.
+    """
+    materialised = [dict(row) for row in rows]
+    if not materialised and columns is None:
+        raise ValueError("empty relation needs explicit columns")
+    inferred = columns or tuple(materialised[0].keys())
+    for row in materialised:
+        if set(row) != set(inferred):
+            raise ValueError(
+                "row %r does not match schema %r" % (row, inferred))
+    if not bounded and time_column is None:
+        raise ValueError("streaming relations need a time_column")
+    if time_column is not None and time_column not in inferred:
+        raise ValueError("time_column %r not in schema" % time_column)
+    stream = env.from_collection(materialised, name=name)
+    scan = Scan(tuple(inferred), bounded, name)
+    return Table(env, stream, [scan], time_column, watermark_delay)
+
+
 def _assigner_for(window: WindowDef):
     if isinstance(window, Tumble):
         return TumblingEventTimeWindows.of(window.size)
@@ -156,27 +188,19 @@ class Table:
                   time_column: Optional[str] = None,
                   watermark_delay: int = 0,
                   name: str = "rows") -> "Table":
-        """A relation over an in-memory list of dict rows.
+        """Deprecated: use :meth:`repro.api.Environment.table` instead.
 
-        ``bounded=False`` marks the relation as streaming: windowed
-        aggregations become available (``time_column`` required) and
-        bounded-only ops (plain ``group_by``) are rejected.
+        Tables created through the Environment facade are registrable in
+        its catalog (``env.register_table``), which is what makes their
+        arrangements discoverable across queries.
         """
-        materialised = [dict(row) for row in rows]
-        if not materialised and columns is None:
-            raise ValueError("empty relation needs explicit columns")
-        inferred = columns or tuple(materialised[0].keys())
-        for row in materialised:
-            if set(row) != set(inferred):
-                raise ValueError(
-                    "row %r does not match schema %r" % (row, inferred))
-        if not bounded and time_column is None:
-            raise ValueError("streaming relations need a time_column")
-        if time_column is not None and time_column not in inferred:
-            raise ValueError("time_column %r not in schema" % time_column)
-        stream = env.from_collection(materialised, name=name)
-        scan = Scan(tuple(inferred), bounded, name)
-        return Table(env, stream, [scan], time_column, watermark_delay)
+        warnings.warn(
+            "Table.from_rows(env, ...) is deprecated; use "
+            "env.table(rows, ...) instead",
+            DeprecationWarning, stacklevel=2)
+        return make_table(env, rows, columns=columns, bounded=bounded,
+                          time_column=time_column,
+                          watermark_delay=watermark_delay, name=name)
 
     # -- plan building --------------------------------------------------------
 
@@ -246,7 +270,10 @@ class Table:
                 "ambiguous non-key columns %r; select/rename first"
                 % sorted(overlap))
         from repro.table.plan import Join
-        return self._derive(Join(on, other.columns, other))
+        # Thread the read columns (the join keys) through the plan the
+        # same way Where does -- the arrangement rewrite and projection
+        # pruning both consume this metadata.
+        return self._derive(Join(on, other.columns, other, reads=on))
 
     def window(self, window: WindowDef) -> "WindowedTable":
         if self.is_bounded:
@@ -262,17 +289,22 @@ class Table:
     def logical_plan(self) -> List[LogicalOp]:
         return list(self._ops)
 
-    def optimized_plan(self, enable: bool = True) -> List[LogicalOp]:
-        return optimize(self._ops) if enable else list(self._ops)
+    def optimized_plan(self, enable: bool = True,
+                       share_arrangements: bool = False) -> List[LogicalOp]:
+        if not enable:
+            return list(self._ops)
+        return optimize(self._ops, share_arrangements=share_arrangements)
 
     def explain(self, optimized: bool = True) -> str:
         return explain(self.optimized_plan(optimized))
 
     def to_stream(self, optimized: bool = True):
         """Compile the (optimized) plan onto dataflow operators."""
-        ops = self.optimized_plan(optimized)
+        share = bool(optimized
+                     and getattr(self.env.config, "share_arrangements",
+                                 False))
+        ops = self.optimized_plan(optimized, share_arrangements=share)
         stream = self._source_stream
-        scan = ops[0]
         needs_time = any(isinstance(op, WindowAgg) for op in ops)
         if needs_time:
             delay = self._watermark_delay
@@ -282,6 +314,12 @@ class Table:
             strategy = WatermarkStrategy.for_bounded_out_of_orderness(
                 lambda row, _tc=time_column: row[_tc], delay)
             stream = stream.assign_timestamps_and_watermarks(strategy)
+        head = ops[0]
+        if isinstance(head, ArrangementScan):
+            # Rewritten group-by head: the whole prefix is served by the
+            # shared arrangement; the stream starts at its scan.
+            stream = self.env.arrangement_catalog().compile_group_scan(
+                self, head)
         for op in ops[1:]:
             stream = self._compile_op(stream, op)
         return stream
@@ -310,6 +348,9 @@ class Table:
             return self._compile_window_agg(stream, op)
         if isinstance(op, _JoinOp):
             return self._compile_join(stream, op)
+        if isinstance(op, ArrangementScan) and op.kind == "join":
+            return self.env.arrangement_catalog().compile_join(
+                self, stream, op)
         raise ValueError("cannot compile %r" % op)
 
     def _compile_join(self, stream, op):

@@ -22,6 +22,12 @@ Each oracle owns one equivalence claim of the system:
 * ``replay``       -- determinism under failure: a job crash-restored
                       mid-stream from its latest checkpoint produces the
                       same output set as the uninterrupted run;
+* ``arrangements`` -- shared arrangements: N table queries planned onto
+                      a handful of shared multiversioned indexes
+                      (``share_arrangements=True``) produce exactly the
+                      rows of N independently planned runs, including
+                      under a crash restored mid-run from a durable
+                      checkpoint while compaction is active;
 * ``backfill``     -- the unified history->stream path
                       (``DataSet.then_stream``): executing a bounded
                       history prefix and resuming against the live
@@ -544,6 +550,149 @@ class ReplayOracle(Oracle):
                    params["assigner"], params["ooo_bound"]))
 
 
+# -- shared arrangements vs independent planning -----------------------------
+
+#: Named, deterministic left-side filters for arrangement-oracle joins:
+#: name -> (predicate, columns read).  Filtering the *left* stream never
+#: affects the arrangement built over the right table, so filtered and
+#: unfiltered joins still share one index.
+ARRANGEMENT_FILTERS: Dict[str, Tuple[Callable[[Dict[str, Any]], bool],
+                                     Tuple[str, ...]]] = {
+    "none": (lambda row: True, ()),
+    "amount-pos": (lambda row: row["amount"] > 0, ("amount",)),
+    "amount-even": (lambda row: row["amount"] % 2 == 0, ("amount",)),
+    "user-low": (lambda row: row["user"] < "u3", ("user",)),
+}
+
+#: Named grouping key sets over the generated (user, amount, ts) rows.
+ARRANGEMENT_KEY_SETS: Dict[str, Tuple[str, ...]] = {
+    "user": ("user",),
+    "user-amount": ("user", "amount"),
+}
+
+ARRANGEMENT_AGGS = ("sum", "count", "min", "max")
+
+
+def make_arrangement_crash_hook():
+    """Crash exactly once, after a checkpoint exists and at least one
+    arrangement shard has compacted -- the restore then lands mid-way
+    through a compacting index."""
+    state = {"fired": False}
+
+    def hook(engine, rounds):
+        if state["fired"] or len(engine.checkpoint_store) < 1:
+            return False
+        for task in engine.tasks:
+            for row in task.operator_reports("arrangement_report"):
+                if row["compactions"] >= 1:
+                    state["fired"] = True
+                    return True
+        return False
+
+    hook.state = state
+    return hook
+
+
+class SharedArrangementOracle(Oracle):
+    """N queries on shared arrangements == N independently planned runs
+    (per-query row-set equality), with sharing actually occurring."""
+
+    name = "arrangements"
+
+    def generate(self, rng: random.Random, root_seed: int,
+                 index: int) -> Case:
+        num_keys = rng.randint(1, 6)
+        ooo = rng.choice([0, 0, 3, 9])
+        queries = []
+        for _ in range(rng.choice([4, 4, 8, 16, 16, 64])):
+            if rng.random() < 0.3:
+                queries.append({"kind": "join",
+                                "filter": rng.choice(
+                                    sorted(ARRANGEMENT_FILTERS))})
+            else:
+                queries.append({"kind": "group",
+                                "key": rng.choice(
+                                    sorted(ARRANGEMENT_KEY_SETS)),
+                                "agg": rng.choice(ARRANGEMENT_AGGS)})
+        params = {
+            "queries": queries,
+            "right_rows": [[u, "tier%d" % rng.randint(0, 2)]
+                           for u in range(num_keys)],
+            "ooo_bound": ooo,
+            "parallelism": rng.choice([1, 2]),
+            "compaction_interval": rng.choice([1, 2, 8]),
+            "crash": rng.random() < 0.3,
+        }
+        stream = []
+        for i in range(rng.randint(10, 120)):
+            stream.append((rng.randrange(num_keys),
+                           rng.randint(-20, 20),
+                           i * 5 + rng.randint(0, ooo)))
+        return Case(self.name, root_seed, index, params, stream)
+
+    def _run(self, case: Case, share: bool,
+             crash: bool = False) -> Tuple[List[List[dict]], Any]:
+        params = case.params
+        config = EngineConfig(
+            share_arrangements=share,
+            arrangement_compaction_interval=params["compaction_interval"],
+            **({"checkpoint_interval_ms": 5, "elements_per_step": 4,
+                "failure_hook": make_arrangement_crash_hook()}
+               if crash else {}))
+        env = Environment(parallelism=params["parallelism"], config=config)
+        rows = [{"user": "u%d" % user, "amount": amount, "ts": ts}
+                for user, amount, ts in case.stream]
+        table = env.table(rows, time_column="ts",
+                          watermark_delay=params["ooo_bound"] + 2)
+        right = env.table([{"user": "u%d" % user, "tier": tier}
+                           for user, tier in params["right_rows"]])
+        collected = []
+        for spec in params["queries"]:
+            if spec["kind"] == "join":
+                predicate, reads = ARRANGEMENT_FILTERS[spec["filter"]]
+                left = table if spec["filter"] == "none" else \
+                    table.where(predicate, reads=reads)
+                collected.append(left.join(right, on=("user",)).collect())
+            else:
+                key = ARRANGEMENT_KEY_SETS[spec["key"]]
+                column = None if spec["agg"] == "count" else "amount"
+                collected.append(table.group_by(*key).agg(
+                    out=(spec["agg"], column)).collect())
+        env.execute()
+        return [sorted(result.get(), key=repr)
+                for result in collected], env
+
+    def check(self, case: Case) -> Optional[str]:
+        if not case.stream or not case.params["queries"]:
+            return None
+        params = case.params
+        shared, env = self._run(case, share=True, crash=params["crash"])
+        independent, _ = self._run(case, share=False)
+        for index, (got, expected) in enumerate(zip(shared, independent)):
+            if got != expected:
+                return ("shared arrangements diverge from independent "
+                        "planning at query %d (%r):\n  expected %r\n"
+                        "  got      %r\n  crash=%s"
+                        % (index, params["queries"][index], expected[:4],
+                           got[:4], params["crash"]))
+        group_keys = {spec["key"] for spec in params["queries"]
+                      if spec["kind"] == "group"}
+        joins = any(spec["kind"] == "join" for spec in params["queries"])
+        bound = len(group_keys) + (1 if joins else 0)
+        built = len(env.arrangement_catalog())
+        if built > bound:
+            return ("sharing failed: %d arrangements built for %d query "
+                    "shapes (%r)" % (built, bound, params["queries"]))
+        report = env.job_report().get("arrangements") or []
+        if not report:
+            return "sharing enabled but job report has no arrangements"
+        for row in report:
+            if row["compacted_through"] > row["sealed"]:
+                return ("arrangement %r compacted beyond its sealed "
+                        "frontier: %r" % (row["arrangement"], row))
+        return None
+
+
 # -- hybrid history+stream backfill ------------------------------------------
 
 def run_hybrid_windows(history: List[tuple], live: List[tuple],
@@ -707,6 +856,7 @@ ORACLE_FACTORIES: Dict[str, Callable[..., Oracle]] = {
     WindowedEquivalenceOracle.name: WindowedEquivalenceOracle,
     SessionMergeOracle.name: SessionMergeOracle,
     ReplayOracle.name: ReplayOracle,
+    SharedArrangementOracle.name: SharedArrangementOracle,
     BackfillOracle.name: BackfillOracle,
 }
 
